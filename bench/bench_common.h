@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: workload selection,
+ * run-wide banners, and CSV emission next to the binaries.
+ */
+#ifndef QPRAC_BENCH_BENCH_COMMON_H
+#define QPRAC_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "sim/workloads.h"
+
+namespace qprac::bench {
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string& id, const std::string& what)
+{
+    std::printf("=== %s: %s ===\n", id.c_str(), what.c_str());
+}
+
+/** Where CSV copies of the results go (QPRAC_CSV_DIR, default "."). */
+inline std::string
+csvPath(const std::string& name)
+{
+    const char* dir = std::getenv("QPRAC_CSV_DIR");
+    return std::string(dir ? dir : ".") + "/" + name;
+}
+
+/**
+ * Representative 16-workload subset for the sensitivity sweeps
+ * (Figs 16-22): the full 57-workload suite is used for the headline
+ * Figs 14/15; sweeps use this mix of high/medium/low intensity unless
+ * QPRAC_FULL_SUITE=1.
+ */
+inline std::vector<sim::Workload>
+sweepWorkloads()
+{
+    if (const char* env = std::getenv("QPRAC_FULL_SUITE"))
+        if (std::atoi(env) != 0)
+            return sim::workloadSuite();
+    std::vector<std::string> names = {
+        "510.parest_r", "429.mcf",      "482.sphinx3", "450.soplex",
+        "433.milc",     "462.libquantum", "471.omnetpp", "470.lbm",
+        "tpcc64",       "ycsb-a",       "403.gcc",     "444.namd",
+    };
+    std::vector<sim::Workload> out;
+    for (const auto& n : names)
+        out.push_back(sim::findWorkload(n));
+    return out;
+}
+
+/** Mean slowdown in percent over the memory-intensive subset only. */
+inline double
+intensiveSlowdownPct(const std::vector<sim::WorkloadRow>& rows, int idx,
+                     double rbmpki_cut = 2.0)
+{
+    std::vector<double> values;
+    for (const auto& row : rows)
+        if (row.base_rbmpki >= rbmpki_cut)
+            values.push_back(
+                row.designs[static_cast<std::size_t>(idx)].norm_perf);
+    if (values.empty())
+        return 0.0;
+    double slow = 100.0 * (1.0 - geomean(values));
+    return slow < 0.0 ? 0.0 : slow;
+}
+
+} // namespace qprac::bench
+
+#endif // QPRAC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 3 — Fill+Escape on Panopticon with full-counter comparison:
+ * maximum unmitigated ACTs vs mitigation threshold (64-4096) for FIFO
+ * queue sizes 4-64.
+ */
+#include "bench_common.h"
+
+#include "attacks/panopticon_attacks.h"
+
+using namespace qprac;
+using attacks::fillEscapeAttack;
+using attacks::PanopticonAttackConfig;
+using attacks::RefDrainPolicy;
+
+int
+main()
+{
+    bench::banner("Fig 3",
+                  "Fill+Escape attack on full-counter FIFO service queues");
+    std::printf("max unmitigated ACTs to the target row\n\n");
+
+    const std::vector<int> thresholds = {64, 128, 256, 512, 1024, 2048,
+                                         4096};
+    const std::vector<int> queue_sizes = {4, 8, 16, 32, 64};
+
+    std::vector<std::string> header = {"threshold"};
+    for (int q : queue_sizes)
+        header.push_back("Q=" + std::to_string(q));
+    Table table(header);
+    CsvWriter csv(bench::csvPath("fig03_fill_escape.csv"),
+                  {"threshold", "queue_size", "unmitigated_acts"});
+
+    for (int m : thresholds) {
+        std::vector<std::string> row = {std::to_string(m)};
+        for (int q : queue_sizes) {
+            PanopticonAttackConfig cfg;
+            cfg.queue_size = q;
+            cfg.threshold = m;
+            cfg.nmit = 4;
+            cfg.ref_drain = RefDrainPolicy::OncePerService;
+            auto out = fillEscapeAttack(cfg);
+            QP_ASSERT(!out.target_was_mitigated,
+                      "attack must evade mitigation");
+            row.push_back(std::to_string(out.target_unmitigated_acts));
+            csv.addRow({std::to_string(m), std::to_string(q),
+                        std::to_string(out.target_unmitigated_acts)});
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\nPaper: minimum ~1283 unmitigated ACTs at threshold 512; "
+                "rising sharply at lower thresholds.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figures 6, 7, 8 — analytical security of ideal PRAC under the Wave
+ * (Feinting) attack:
+ *   Fig 6: N_online vs starting pool R1 for PRAC-1/2/4;
+ *   Fig 7: maximum feasible R1 vs Back-Off threshold;
+ *   Fig 8: secure TRH vs Back-Off threshold.
+ */
+#include "bench_common.h"
+
+#include "security/prac_model.h"
+
+using namespace qprac;
+using security::PracModelConfig;
+using security::PracSecurityModel;
+
+int
+main()
+{
+    bench::banner("Fig 6-8", "Wave-attack security model for PRAC-1/2/4");
+
+    PracSecurityModel m1(PracModelConfig::prac(1));
+    PracSecurityModel m2(PracModelConfig::prac(2));
+    PracSecurityModel m4(PracModelConfig::prac(4));
+
+    // ---- Fig 6 ---------------------------------------------------------
+    std::printf("\n-- Fig 6: N_online vs starting row pool R1 --\n");
+    Table f6({"R1", "PRAC-1", "PRAC-2", "PRAC-4"});
+    CsvWriter c6(bench::csvPath("fig06_nonline.csv"),
+                 {"r1", "nmit", "n_online"});
+    for (long r1 : {4L, 1000L, 5000L, 20000L, 40000L, 60000L, 80000L,
+                    100000L, 131072L}) {
+        f6.addRow({std::to_string(r1), std::to_string(m1.nOnline(r1)),
+                   std::to_string(m2.nOnline(r1)),
+                   std::to_string(m4.nOnline(r1))});
+        c6.addRow({std::to_string(r1), "1",
+                   std::to_string(m1.nOnline(r1))});
+        c6.addRow({std::to_string(r1), "2",
+                   std::to_string(m2.nOnline(r1))});
+        c6.addRow({std::to_string(r1), "4",
+                   std::to_string(m4.nOnline(r1))});
+    }
+    f6.print();
+    std::printf("Paper: maxima 46 / 30 / 23 at R1 = 128K.\n");
+
+    // ---- Fig 7 ---------------------------------------------------------
+    std::printf("\n-- Fig 7: maximum R1 vs Back-Off threshold --\n");
+    Table f7({"NBO", "PRAC-1", "PRAC-2", "PRAC-4"});
+    CsvWriter c7(bench::csvPath("fig07_max_r1.csv"),
+                 {"nbo", "nmit", "max_r1"});
+    for (int nbo : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+        f7.addRow({std::to_string(nbo), std::to_string(m1.maxR1(nbo)),
+                   std::to_string(m2.maxR1(nbo)),
+                   std::to_string(m4.maxR1(nbo))});
+        c7.addRow({std::to_string(nbo), "1",
+                   std::to_string(m1.maxR1(nbo))});
+        c7.addRow({std::to_string(nbo), "2",
+                   std::to_string(m2.maxR1(nbo))});
+        c7.addRow({std::to_string(nbo), "4",
+                   std::to_string(m4.maxR1(nbo))});
+    }
+    f7.print();
+    std::printf("Paper: ~50K-62K at NBO=1, dropping to ~2K at NBO=256.\n");
+
+    // ---- Fig 8 ---------------------------------------------------------
+    std::printf("\n-- Fig 8: secure TRH vs Back-Off threshold --\n");
+    Table f8({"NBO", "PRAC-1", "PRAC-2", "PRAC-4"});
+    CsvWriter c8(bench::csvPath("fig08_trh.csv"), {"nbo", "nmit", "trh"});
+    for (int nbo : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+        f8.addRow({std::to_string(nbo), std::to_string(m1.secureTrh(nbo)),
+                   std::to_string(m2.secureTrh(nbo)),
+                   std::to_string(m4.secureTrh(nbo))});
+        c8.addRow({std::to_string(nbo), "1",
+                   std::to_string(m1.secureTrh(nbo))});
+        c8.addRow({std::to_string(nbo), "2",
+                   std::to_string(m2.secureTrh(nbo))});
+        c8.addRow({std::to_string(nbo), "4",
+                   std::to_string(m4.secureTrh(nbo))});
+    }
+    f8.print();
+    std::printf("Paper: TRH 44/29/22 at NBO=1; 289/279/274 at NBO=256; "
+                "71 for PRAC-1 at the default NBO=32.\n");
+    return 0;
+}

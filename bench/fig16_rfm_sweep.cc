@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 16 — sensitivity to the number of RFMs per Alert Back-Off
+ * (PRAC-1 / PRAC-2 / PRAC-4), paper §VI-B.
+ *
+ * Paper: QPRAC 0.8-0.9% slowdown across PRAC levels; proactive variants
+ * 0% (more RFMs per alert are offset by proportionally fewer alerts).
+ */
+#include "bench_common.h"
+
+using namespace qprac;
+using core::QpracConfig;
+using sim::DesignSpec;
+using sim::ExperimentConfig;
+
+int
+main()
+{
+    bench::banner("Fig 16", "slowdown vs RFMs per alert (PRAC-1/2/4)");
+    ExperimentConfig cfg;
+    auto workloads = bench::sweepWorkloads();
+    std::printf("workloads=%zu (sweep subset), NBO=32\n\n",
+                workloads.size());
+
+    Table table({"design", "PRAC-1", "PRAC-2", "PRAC-4"});
+    CsvWriter csv(bench::csvPath("fig16_rfm_sweep.csv"),
+                  {"design", "nmit", "slowdown_pct"});
+
+    struct Variant
+    {
+        std::string name;
+        QpracConfig (*make)(int, int);
+    };
+    std::vector<Variant> variants = {
+        {"QPRAC", &QpracConfig::base},
+        {"QPRAC+Proactive", &QpracConfig::proactiveEvery},
+        {"QPRAC+Proactive-EA", &QpracConfig::proactiveEa},
+        {"QPRAC-Ideal", &QpracConfig::idealTopN},
+    };
+
+    // One comparison per PRAC level; collate per design afterwards.
+    std::vector<std::vector<double>> slowdowns(
+        variants.size(), std::vector<double>(3, 0.0));
+    const int nmits[3] = {1, 2, 4};
+    for (int n = 0; n < 3; ++n) {
+        std::vector<DesignSpec> designs;
+        for (const auto& v : variants)
+            designs.push_back(DesignSpec::qprac(v.make(32, nmits[n])));
+        auto rows = sim::runComparison(workloads, designs, cfg);
+        for (std::size_t i = 0; i < variants.size(); ++i)
+            slowdowns[i][static_cast<std::size_t>(n)] =
+                sim::meanSlowdownPct(rows, static_cast<int>(i));
+    }
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        table.addRow({variants[i].name, Table::pct(slowdowns[i][0], 2),
+                      Table::pct(slowdowns[i][1], 2),
+                      Table::pct(slowdowns[i][2], 2)});
+        for (int n = 0; n < 3; ++n)
+            csv.addRow({variants[i].name, std::to_string(nmits[n]),
+                        Table::num(slowdowns[i][static_cast<std::size_t>(n)],
+                                   4)});
+    }
+    table.print();
+    std::printf("\nPaper: 0.8%% / 0.8%% / 0.9%% for QPRAC; 0%% for the "
+                "proactive variants and Ideal.\n");
+    return 0;
+}

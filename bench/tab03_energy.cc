@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table III — mitigation energy overhead of the QPRAC designs at
+ * PRAC-1/2/4 (paper §VI-F).
+ *
+ * Paper: QPRAC 1.2-1.5%; QPRAC+Proactive 14.6% (a mitigation on every
+ * REF in every bank); QPRAC+Proactive-EA 1.9% (NPRO = NBO/2 gate).
+ */
+#include "bench_common.h"
+
+#include "energy/energy_model.h"
+
+using namespace qprac;
+using core::QpracConfig;
+using energy::computeEnergy;
+using sim::DesignSpec;
+using sim::ExperimentConfig;
+
+int
+main()
+{
+    bench::banner("Table III", "energy overhead of QPRAC designs");
+    ExperimentConfig cfg;
+    auto workloads = bench::sweepWorkloads();
+    std::printf("workloads=%zu (sweep subset), NBO=32\n\n",
+                workloads.size());
+
+    dram::Organization org;
+    auto timing = dram::TimingParams::ddr5Prac();
+
+    Table table({"PRAC level", "QPRAC", "QPRAC+Proactive",
+                 "QPRAC+Proactive-EA"});
+    CsvWriter csv(bench::csvPath("tab03_energy.csv"),
+                  {"prac_level", "design", "energy_overhead_pct"});
+
+    for (int nmit : {1, 2, 4}) {
+        std::vector<DesignSpec> designs = {
+            DesignSpec::qprac(QpracConfig::base(32, nmit)),
+            DesignSpec::qprac(QpracConfig::proactiveEvery(32, nmit)),
+            DesignSpec::qprac(QpracConfig::proactiveEa(32, nmit)),
+        };
+        auto rows = sim::runComparison(workloads, designs, cfg);
+        std::vector<std::string> cells = {"PRAC-" + std::to_string(nmit)};
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            std::vector<double> overheads;
+            for (const auto& row : rows) {
+                auto base = computeEnergy(row.baseline.stats, org, timing);
+                auto d = computeEnergy(row.designs[i].sim.stats, org,
+                                       timing);
+                overheads.push_back(d.overheadPctVs(base));
+            }
+            double o = mean(overheads);
+            cells.push_back(Table::pct(o, 2));
+            csv.addRow({"PRAC-" + std::to_string(nmit), designs[i].label,
+                        Table::num(o, 4)});
+        }
+        table.addRow(cells);
+    }
+    table.print();
+    std::printf("\nPaper: QPRAC 1.2/1.3/1.5%%, +Proactive 14.6%%, "
+                "+Proactive-EA 1.9%% for PRAC-1/2/4.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table IV — per-bank SRAM overhead of in-DRAM trackers at TRH = 4K and
+ * TRH = 100 (paper §VII-C), plus QPRAC's structure sizing (§III-E).
+ */
+#include "bench_common.h"
+
+#include "security/storage_model.h"
+
+using namespace qprac;
+using namespace qprac::security;
+
+namespace {
+
+std::string
+human(double bytes)
+{
+    char buf[64];
+    if (bytes >= 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.2f MB",
+                      bytes / (1024.0 * 1024.0));
+    else if (bytes >= 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f bytes", bytes);
+    return buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table IV", "per-bank SRAM overhead of in-DRAM trackers");
+
+    Table table({"Tracker", "TRH = 4K", "TRH = 100"});
+    CsvWriter csv(bench::csvPath("tab04_storage.csv"),
+                  {"tracker", "trh", "bytes_per_bank"});
+    auto at4k = storageTable(4000);
+    auto at100 = storageTable(100);
+    for (std::size_t i = 0; i < at4k.size(); ++i) {
+        table.addRow({at4k[i].name, human(at4k[i].bytes_per_bank),
+                      human(at100[i].bytes_per_bank)});
+        csv.addRow({at4k[i].name, "4000",
+                    Table::num(at4k[i].bytes_per_bank, 1)});
+        csv.addRow({at100[i].name, "100",
+                    Table::num(at100[i].bytes_per_bank, 1)});
+    }
+    table.print();
+
+    std::printf("\n-- QPRAC structure sizing (§III-E / §VI-F) --\n");
+    Table sizing({"TRH", "counter bits", "PSQ bytes/bank"});
+    for (int trh : {22, 32, 66, 100, 4000}) {
+        sizing.addRow({std::to_string(trh),
+                       std::to_string(pracCounterBits(trh)),
+                       Table::num(qpracPsqBytes(5, 128 * 1024, trh), 1)});
+    }
+    sizing.print();
+    std::printf("\nPaper: Misra-Gries 42.5KB -> 1700KB, TWiCe 300KB -> "
+                "12MB, CAT 196KB -> 7.84MB from TRH 4K to 100; QPRAC 15 "
+                "bytes at both (7-bit counters at TRH=66).\n");
+    return 0;
+}

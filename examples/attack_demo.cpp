@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Attack demo: why FIFO service queues break and the PSQ does not.
+ *
+ * Re-enacts the paper's three offensive results at demo scale:
+ *   1. Toggle+Forget against t-bit Panopticon (Fig 2);
+ *   2. Fill+Escape against a full-counter FIFO (Fig 3 / UPRAC-FIFO);
+ *   3. the same pressure against QPRAC's priority queue — which tracks
+ *      and mitigates the target no matter how full the queue is.
+ */
+#include <cstdio>
+
+#include "attacks/panopticon_attacks.h"
+#include "attacks/wave_attack.h"
+#include "common/table.h"
+#include "core/qprac.h"
+#include "dram/prac_counters.h"
+
+using namespace qprac;
+
+namespace {
+
+/**
+ * The Fill+Escape core move, aimed at QPRAC: fill the PSQ with hot
+ * rows, then hammer a target with ABO_ACT activations while it is
+ * "full". With priority insertion the target displaces the minimum and
+ * is mitigated — the attack collapses.
+ */
+void
+fillEscapeVsQprac()
+{
+    const int nbo = 32;
+    dram::PracCounters ctrs(1, 4096);
+    core::Qprac qprac(core::QpracConfig::base(nbo, 1), &ctrs);
+
+    auto act = [&](int row) {
+        ActCount c = ctrs.onActivate(0, row);
+        qprac.onActivate(0, row, c, 0);
+        return c;
+    };
+
+    // Fill the 5-entry PSQ with five rows at NBO-1.
+    for (int r = 0; r < 5; ++r)
+        for (int i = 0; i < nbo - 1; ++i)
+            act(8 + 8 * r);
+
+    // Hammer the target past every queued row, as if using ABO_ACTs.
+    const int target = 1024;
+    ActCount reached = 0;
+    for (int i = 0; i < nbo + 3; ++i)
+        reached = act(target);
+
+    std::printf("  PSQ full with 5 rows at count %d; target hammered to "
+                "%u\n", nbo - 1, reached);
+    std::printf("  target tracked by PSQ? %s (count %u, the queue max)\n",
+                qprac.psq(0).contains(target) ? "YES" : "no",
+                qprac.psq(0).countOf(target));
+    std::printf("  alert requested? %s -> the next RFM mitigates the "
+                "target first\n",
+                qprac.wantsAlert() ? "YES" : "no");
+    qprac.onRfm(0, dram::RfmScope::AllBank, true, 0);
+    std::printf("  after one RFM: target count reset to %u\n\n",
+                ctrs.count(0, target));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== 1. Toggle+Forget vs Panopticon (t-bit FIFO) ===\n");
+    {
+        attacks::PanopticonAttackConfig cfg;
+        cfg.queue_size = 4;
+        cfg.tbit = 6;
+        auto out = attacks::toggleForgetAttack(cfg);
+        std::printf("  queue=4, M=64: target received %ld unmitigated "
+                    "ACTs (%s) in one tREFW\n",
+                    out.target_unmitigated_acts,
+                    out.target_was_mitigated ? "was mitigated"
+                                             : "never mitigated");
+        std::printf("  -> at a sub-100 TRH that is >1000x the threshold: "
+                    "broken.\n\n");
+    }
+
+    std::printf("=== 2. Fill+Escape vs full-counter FIFO (UPRAC-style) "
+                "===\n");
+    {
+        attacks::PanopticonAttackConfig cfg;
+        cfg.queue_size = 4;
+        cfg.threshold = 512;
+        cfg.nmit = 4;
+        cfg.ref_drain = attacks::RefDrainPolicy::OncePerService;
+        auto out = attacks::fillEscapeAttack(cfg);
+        std::printf("  queue=4, threshold=512: %ld unmitigated ACTs -> "
+                    "insecure below TRH ~1280.\n\n",
+                    out.target_unmitigated_acts);
+    }
+
+    std::printf("=== 3. the same pressure vs QPRAC's PSQ ===\n");
+    fillEscapeVsQprac();
+
+    std::printf("=== 4. the strongest known attack (wave) vs QPRAC ===\n");
+    {
+        attacks::WaveAttackConfig wc;
+        wc.nbo = 32;
+        wc.nmit = 1;
+        wc.r1 = 4000;
+        auto psq = attacks::simulateWaveAttack(wc);
+        wc.ideal = true;
+        auto ideal = attacks::simulateWaveAttack(wc);
+        std::printf("  wave attack with 4000-row pool: PSQ max count %u, "
+                    "oracular max count %u\n",
+                    psq.max_count, ideal.max_count);
+        std::printf("  -> the bounded 15-byte PSQ gives up nothing vs an "
+                    "impractical oracle.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Security-analysis walkthrough: use the analytical wave-attack model
+ * (paper §IV) to configure QPRAC for a target Rowhammer threshold, then
+ * validate the bound empirically with the event-level attack simulator —
+ * including the §IV-B result that the 5-entry PSQ is as strong as an
+ * oracular top-N tracker.
+ *
+ *   $ ./security_analysis [target_trh]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "attacks/wave_attack.h"
+#include "common/table.h"
+#include "security/prac_model.h"
+
+using namespace qprac;
+using attacks::simulateWaveAttack;
+using attacks::WaveAttackConfig;
+using security::PracModelConfig;
+using security::PracSecurityModel;
+
+int
+main(int argc, char** argv)
+{
+    int target_trh = argc > 1 ? std::atoi(argv[1]) : 71;
+
+    std::printf("=== configuring QPRAC for TRH = %d ===\n\n", target_trh);
+
+    // Step 1: pick the largest Back-Off threshold that is still secure
+    // for the target TRH, for each PRAC level.
+    Table cfg_table({"design", "max NBO", "secure TRH at that NBO"});
+    for (int nmit : {1, 2, 4}) {
+        PracSecurityModel model(PracModelConfig::prac(nmit));
+        int nbo = model.maxNboForTrh(target_trh);
+        cfg_table.addRow({"QPRAC-" + std::to_string(nmit),
+                          std::to_string(nbo),
+                          nbo > 0 ? std::to_string(model.secureTrh(nbo))
+                                  : "-"});
+    }
+    cfg_table.print();
+
+    // Step 2: empirically drive the worst-case wave attack against the
+    // chosen configuration and check the analytical bound holds.
+    PracSecurityModel model(PracModelConfig::prac(1));
+    int nbo = model.maxNboForTrh(target_trh);
+    if (nbo <= 0) {
+        std::printf("\ntarget TRH below what PRAC-1 can protect; "
+                    "try TRH >= %d\n", model.secureTrh(1));
+        return 0;
+    }
+
+    std::printf("\n=== wave attack vs QPRAC-1 at NBO = %d ===\n\n", nbo);
+    Table atk({"tracker", "pool R1", "max activation count",
+               "bound (NBO+N_online)", "secure?"});
+    for (bool ideal : {false, true}) {
+        for (long r1 : {1000L, 4000L}) {
+            WaveAttackConfig wc;
+            wc.nbo = nbo;
+            wc.nmit = 1;
+            wc.r1 = r1;
+            wc.ideal = ideal;
+            auto res = simulateWaveAttack(wc);
+            int bound = nbo + model.nOnline(r1);
+            atk.addRow({ideal ? "Ideal (oracular top-N)" : "PSQ (5-entry)",
+                        std::to_string(r1),
+                        std::to_string(res.max_count),
+                        std::to_string(bound),
+                        res.max_count <= static_cast<ActCount>(target_trh)
+                            ? "yes"
+                            : "NO"});
+        }
+    }
+    atk.print();
+
+    std::printf("\nThe 15-byte PSQ reaches exactly the same maximum "
+                "activation count as the impractical oracular tracker "
+                "(paper §IV-B), and both stay below TRH = %d.\n",
+                target_trh);
+    return 0;
+}

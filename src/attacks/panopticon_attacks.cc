@@ -1,0 +1,253 @@
+#include "attacks/panopticon_attacks.h"
+
+#include <memory>
+
+#include "common/log.h"
+#include "dram/prac_counters.h"
+#include "mitigations/panopticon.h"
+
+namespace qprac::attacks {
+
+namespace {
+
+using dram::PracCounters;
+using mitigations::Panopticon;
+using mitigations::PanopticonConfig;
+
+/**
+ * Drives one Panopticon bank in ACT-slot time. Rows used by the attack
+ * are spaced blast_radius*2 apart so mitigative victim refreshes never
+ * touch other attack rows.
+ */
+class Harness
+{
+  public:
+    Harness(const PanopticonConfig& pan_cfg,
+            const PanopticonAttackConfig& atk_cfg, int rows_needed)
+        : cfg_(atk_cfg),
+          ctrs_(1, rows_needed * kStride + 2 * kStride, 2),
+          pan_(pan_cfg, &ctrs_)
+    {
+    }
+
+    static constexpr int kStride = 8;
+
+    int row(int index) const { return kStride + index * kStride; }
+
+    bool budgetLeft() const { return slots_ < cfg_.act_budget; }
+
+    ActCount count(int r) const { return ctrs_.count(0, r); }
+
+    /** One ACT slot; fires a REF-shadow pop when one is due. */
+    void activate(int r, bool is_target = false)
+    {
+        maybeRef();
+        ActCount c = ctrs_.onActivate(0, r);
+        pan_.onActivate(0, r, c, static_cast<Cycle>(slots_));
+        ++slots_;
+        if (is_target)
+            ++outcome_.target_acts;
+    }
+
+    /** Service an alert: nmit FIFO pops plus the RFM time cost. */
+    void serviceAlert()
+    {
+        ++outcome_.alerts;
+        for (int i = 0; i < cfg_.nmit; ++i)
+            pan_.onRfm(0, dram::RfmScope::AllBank, true,
+                       static_cast<Cycle>(slots_));
+        if (cfg_.ref_drain == RefDrainPolicy::OncePerService)
+            pan_.onRefresh(0, static_cast<Cycle>(slots_));
+        slots_ += static_cast<long>(cfg_.rfm_cost_slots * cfg_.nmit);
+    }
+
+    void setDeferRefs(bool defer)
+    {
+        defer_refs_ = defer;
+        if (!defer)
+            maybeRef();
+    }
+
+    Panopticon& pan() { return pan_; }
+
+    struct RawOutcome
+    {
+        long target_acts = 0;
+        long alerts = 0;
+    };
+
+    AttackOutcome finish(int target_row)
+    {
+        AttackOutcome out;
+        out.target_unmitigated_acts = outcome_.target_acts;
+        out.total_acts = slots_;
+        out.alerts = outcome_.alerts;
+        out.target_was_mitigated = pan_.queueContains(0, target_row);
+        return out;
+    }
+
+  private:
+    void maybeRef()
+    {
+        if (cfg_.ref_drain != RefDrainPolicy::EveryTrefi || defer_refs_)
+            return;
+        while (slots_ >= next_ref_) {
+            pan_.onRefresh(0, static_cast<Cycle>(slots_));
+            next_ref_ += cfg_.ref_period_slots;
+        }
+    }
+
+    PanopticonAttackConfig cfg_;
+    PracCounters ctrs_;
+    Panopticon pan_;
+    long slots_ = 0;
+    long next_ref_ = 0;
+    bool defer_refs_ = false;
+    RawOutcome outcome_;
+};
+
+} // namespace
+
+AttackOutcome
+toggleForgetAttack(const PanopticonAttackConfig& cfg)
+{
+    const int q = cfg.queue_size;
+    const long m = 1L << cfg.tbit;
+    const int spares = 16;
+    Harness h(PanopticonConfig::tbit(cfg.tbit, q), cfg, q + 1 + spares);
+
+    const int target = h.row(q);
+    int spare_idx = 0;
+
+    while (h.budgetLeft()) {
+        // BUILD: bring the Q fillers, the target AND the spare pool to
+        // count = M-1 mod M. No multiple of M is crossed, so nothing is
+        // enqueued. Pre-staging the spares means a mid-fill REF drain
+        // can be compensated with a single ACT below.
+        for (int i = 0; i <= q + spares && h.budgetLeft(); ++i) {
+            int r = h.row(i);
+            while (h.budgetLeft() &&
+                   static_cast<long>(h.count(r)) % m != m - 1)
+                h.activate(r, r == target);
+        }
+        if (!h.budgetLeft())
+            break;
+
+        // FILL: one more ACT toggles each filler's t-bit -> enqueued.
+        for (int i = 0; i < q && h.budgetLeft(); ++i)
+            h.activate(h.row(i));
+
+        // Top up with pre-staged spares if a REF drained an entry.
+        while (h.budgetLeft() && !h.pan().queueFull(0)) {
+            int r = h.row(q + 1 + (spare_idx++ % spares));
+            h.activate(r); // crosses a multiple of M -> enqueued
+        }
+        if (!h.budgetLeft())
+            break;
+
+        // ABO window: the queue is full, so the target's threshold
+        // toggle is dropped (the bypass) and it keeps hammering.
+        QP_ASSERT(h.pan().wantsAlert(), "queue should be full here");
+        h.setDeferRefs(true);
+        h.activate(target, true); // crosses a multiple of M -> dropped
+        h.activate(target, true);
+        h.setDeferRefs(false);
+        QP_ASSERT(!h.pan().queueContains(0, target),
+                  "target must never enter the FIFO");
+        h.serviceAlert();
+    }
+    return h.finish(target);
+}
+
+AttackOutcome
+fillEscapeAttack(const PanopticonAttackConfig& cfg)
+{
+    const int q = cfg.queue_size;
+    const long m = cfg.threshold;
+    const int pool = q + 12; // fillers are reusable after mitigation
+    Harness h(PanopticonConfig::fullCounter(static_cast<int>(m), q), cfg,
+              pool + 1);
+
+    const int target = h.row(pool);
+
+    // Setup: target to M-1 (these activations are already unmitigated).
+    while (h.budgetLeft() && h.count(target) < m - 1)
+        h.activate(target, true);
+
+    int next_filler = 0;
+    while (h.budgetLeft()) {
+        // Fill: raise fillers to M so they enqueue; stop when full.
+        while (h.budgetLeft() && !h.pan().queueFull(0)) {
+            int r = h.row(next_filler % pool);
+            if (h.pan().queueContains(0, r)) {
+                ++next_filler;
+                continue;
+            }
+            h.activate(r);
+        }
+        if (!h.budgetLeft())
+            break;
+
+        // ABO_ACT hammering: enqueue attempts are dropped (FIFO full).
+        h.setDeferRefs(true);
+        for (int i = 0; i < 3 && h.budgetLeft(); ++i)
+            h.activate(target, true);
+        h.setDeferRefs(false);
+        QP_ASSERT(!h.pan().queueContains(0, target),
+                  "target must never enter the FIFO");
+        h.serviceAlert();
+    }
+    return h.finish(target);
+}
+
+AttackOutcome
+blockingTbitAttack(const PanopticonAttackConfig& cfg)
+{
+    const int q = cfg.queue_size;
+    const long m = 1L << cfg.tbit;
+    const int pool = q + 8;
+    PanopticonConfig pan_cfg = PanopticonConfig::tbit(cfg.tbit, q);
+    pan_cfg.block_abo_toggle = true;
+    Harness h(pan_cfg, cfg, pool + 1);
+
+    const int target = h.row(pool);
+
+    // The blocked t-bit means the target can never be enqueued, so the
+    // attacker ramps it to M-1 up front for free unmitigated ACTs.
+    while (h.budgetLeft() &&
+           static_cast<long>(h.count(target)) < m - 1)
+        h.activate(target, true);
+
+    int next_filler = 0;
+    while (h.budgetLeft()) {
+        // Fill the queue: each filler toggles at its next multiple of M.
+        while (h.budgetLeft() && !h.pan().queueFull(0)) {
+            int r = h.row(next_filler % pool);
+            if (h.pan().queueContains(0, r)) {
+                ++next_filler;
+                continue;
+            }
+            do {
+                h.activate(r);
+            } while (h.budgetLeft() &&
+                     static_cast<long>(h.count(r)) % m != 0);
+            ++next_filler;
+        }
+        if (!h.budgetLeft())
+            break;
+
+        // ABO_ACT cannot toggle the t-bit: the target is unmitigatable.
+        h.pan().setAboWindowActive(true);
+        h.setDeferRefs(true);
+        for (int i = 0; i < 3 && h.budgetLeft(); ++i)
+            h.activate(target, true);
+        h.setDeferRefs(false);
+        h.pan().setAboWindowActive(false);
+        QP_ASSERT(!h.pan().queueContains(0, target),
+                  "target must never enter the FIFO");
+        h.serviceAlert();
+    }
+    return h.finish(target);
+}
+
+} // namespace qprac::attacks

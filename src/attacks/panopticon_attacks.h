@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Event-level simulations of the paper's attacks on FIFO-service-queue
+ * PRAC implementations (§II-E1 and Appendix A):
+ *
+ *  - Toggle+Forget (Fig 2): exploits t-bit toggling + non-blocking
+ *    alerts; the target's threshold crossings always occur during
+ *    ABO_ACT while the queue is full, so it is never enqueued.
+ *  - Fill+Escape (Fig 3): full-counter comparison; the target is only
+ *    hammered with ABO_ACT activations while the FIFO is full.
+ *  - Blocking-t-bit (Fig 23): Appendix A variant where ABO_ACT cannot
+ *    toggle the t-bit — the target is then *never* enqueueable.
+ *
+ * Time is measured in ACT slots; the attacker's budget is the ~550K
+ * activations a bank can absorb within one tREFW (paper §V).
+ */
+#ifndef QPRAC_ATTACKS_PANOPTICON_ATTACKS_H
+#define QPRAC_ATTACKS_PANOPTICON_ATTACKS_H
+
+namespace qprac::attacks {
+
+/** How aggressively REF-shadow mitigations drain the service queue. */
+enum class RefDrainPolicy
+{
+    EveryTrefi,      ///< one FIFO pop per tREFI (67 ACT slots)
+    OncePerService,  ///< one pop per alert-service cycle (paper's Fig 3
+                     ///< accounting: "one extra entry per tREFI")
+    None,            ///< RFM pops only (paper's Fig 23 accounting)
+};
+
+/** Shared attack parameters. */
+struct PanopticonAttackConfig
+{
+    int queue_size = 4;
+    int tbit = 6;        ///< threshold M = 2^tbit (t-bit attacks)
+    int threshold = 512; ///< threshold M (full-counter attack)
+    int nmit = 1;        ///< FIFO pops per alert service
+    long act_budget = 550'000; ///< ACT slots within one tREFW
+    int ref_period_slots = 67; ///< ACT slots per tREFI
+    double rfm_cost_slots = 6.0; ///< ACT slots consumed per RFM
+    RefDrainPolicy ref_drain = RefDrainPolicy::EveryTrefi;
+};
+
+/** What the attacker achieved. */
+struct AttackOutcome
+{
+    long target_unmitigated_acts = 0; ///< ACTs to the victim row without
+                                      ///< any mitigation reaching it
+    long total_acts = 0;
+    long alerts = 0;
+    bool target_was_mitigated = false; ///< true would mean the attack failed
+};
+
+/** Fig 2: Toggle+Forget on t-bit Panopticon. */
+AttackOutcome toggleForgetAttack(const PanopticonAttackConfig& cfg);
+
+/** Fig 3: Fill+Escape on full-counter-compare FIFO (Panopticon/UPRAC). */
+AttackOutcome fillEscapeAttack(const PanopticonAttackConfig& cfg);
+
+/** Fig 23: Appendix A variant with ABO_ACT barred from toggling. */
+AttackOutcome blockingTbitAttack(const PanopticonAttackConfig& cfg);
+
+} // namespace qprac::attacks
+
+#endif // QPRAC_ATTACKS_PANOPTICON_ATTACKS_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Event-level simulation of the Wave (Feinting) attack against QPRAC
+ * (paper §IV-A/B): the attacker brings a pool of rows to NBO-1, then
+ * uniformly activates the shrinking pool round by round, dropping
+ * mitigated rows, and finally hammers the last survivor.
+ *
+ * Used to validate that QPRAC's bounded PSQ achieves the same maximum
+ * activation count as the oracular top-N (Ideal) implementation
+ * (paper §IV-B), and to cross-check the analytical model's N_online.
+ */
+#ifndef QPRAC_ATTACKS_WAVE_ATTACK_H
+#define QPRAC_ATTACKS_WAVE_ATTACK_H
+
+#include "common/types.h"
+
+namespace qprac::attacks {
+
+/** Wave-attack simulation parameters. */
+struct WaveAttackConfig
+{
+    int nbo = 32;
+    int nmit = 1;
+    int psq_size = 5;
+    bool ideal = false;   ///< oracular top-N instead of the PSQ
+    int abo_act = 3;      ///< ACTs the attacker gets after an alert
+    int abo_delay = -1;   ///< -1 = nmit
+    long r1 = 2000;       ///< starting pool size
+    bool proactive = false;        ///< REF-shadow mitigations (§IV-C)
+    int ref_period_acts = 67;      ///< ACT slots per tREFI
+    int row_stride = 8;  ///< pool spacing (> 2*BR, victim isolation)
+};
+
+/** Simulation outcome. */
+struct WaveAttackResult
+{
+    ActCount max_count = 0; ///< highest activation count any row reached
+    long rounds = 0;
+    long alerts = 0;
+    long total_acts = 0;
+    long pool_after_setup = 0; ///< rows surviving the setup phase
+};
+
+/** Run the attack against a single QPRAC-protected bank. */
+WaveAttackResult simulateWaveAttack(const WaveAttackConfig& cfg);
+
+} // namespace qprac::attacks
+
+#endif // QPRAC_ATTACKS_WAVE_ATTACK_H

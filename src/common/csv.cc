@@ -1,0 +1,49 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace qprac {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+{
+    if (path.empty())
+        return;
+    out_.open(path);
+    if (!out_) {
+        warn(strCat("CsvWriter: cannot open '", path, "', disabling output"));
+        return;
+    }
+    enabled_ = true;
+    columns_ = header.size();
+    addRow(header);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string>& cells)
+{
+    if (!enabled_)
+        return;
+    QP_ASSERT(columns_ == 0 || cells.size() == columns_,
+              "CSV row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+    out_.flush();
+}
+
+std::string
+CsvWriter::num(double v)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    return os.str();
+}
+
+} // namespace qprac

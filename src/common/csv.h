@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal CSV writer used by benches to emit machine-readable results
+ * alongside the human-readable tables.
+ */
+#ifndef QPRAC_COMMON_CSV_H
+#define QPRAC_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qprac {
+
+/** Writes rows to a CSV file; silently becomes a no-op if path is empty. */
+class CsvWriter
+{
+  public:
+    /** Open the file and emit the header row. */
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    /** Append one row; values are written with full precision. */
+    void addRow(const std::vector<std::string>& cells);
+
+    /** Convenience: format doubles to strings. */
+    static std::string num(double v);
+
+    bool ok() const { return enabled_; }
+
+  private:
+    std::ofstream out_;
+    bool enabled_ = false;
+    std::size_t columns_ = 0;
+};
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_CSV_H

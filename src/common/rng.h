@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (synthetic workloads, PrIDE
+ * sampling, randomized property tests) flows through this generator so
+ * that every experiment is bit-reproducible from its seed.
+ */
+#ifndef QPRAC_COMMON_RNG_H
+#define QPRAC_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace qprac {
+
+/**
+ * xorshift128+ generator. Small, fast, and good enough for workload
+ * synthesis and probabilistic sampling (not cryptographic use).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability p. */
+    bool nextBool(double p);
+
+    /** Reseed the generator (deterministic splitmix expansion). */
+    void seed(std::uint64_t seed);
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+/** Stable 64-bit FNV-1a hash of a string; used to derive workload seeds. */
+std::uint64_t stableHash(const char* str);
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_RNG_H

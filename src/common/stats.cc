@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace qprac {
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    stats_[name] = value;
+}
+
+void
+StatSet::add(const std::string& name, double value)
+{
+    stats_[name] += value;
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end())
+        fatal(strCat("StatSet: unknown stat '", name, "'"));
+    return it->second;
+}
+
+double
+StatSet::getOr(const std::string& name, double fallback) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? fallback : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return stats_.count(name) > 0;
+}
+
+double
+StatSet::ratioVs(const StatSet& base, const std::string& name) const
+{
+    double b = base.get(name);
+    if (b == 0.0)
+        fatal(strCat("StatSet::ratioVs: baseline stat '", name, "' is 0"));
+    return get(name) / b;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [name, value] : stats_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace qprac

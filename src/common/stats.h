@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Lightweight named-statistics container.
+ *
+ * Components keep raw counters as plain members for speed; at report time
+ * they export into a StatSet which benches and tests consume, and which
+ * can be diffed against a baseline run.
+ */
+#ifndef QPRAC_COMMON_STATS_H
+#define QPRAC_COMMON_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qprac {
+
+/** An ordered map of stat name -> value with convenience arithmetic. */
+class StatSet
+{
+  public:
+    /** Set (overwrite) a stat. */
+    void set(const std::string& name, double value);
+
+    /** Add to a stat (creates at 0 if absent). */
+    void add(const std::string& name, double value);
+
+    /** Value of a stat; fatal() if absent (catches typos in benches). */
+    double get(const std::string& name) const;
+
+    /** Value of a stat, or fallback if absent. */
+    double getOr(const std::string& name, double fallback) const;
+
+    bool has(const std::string& name) const;
+
+    /** All (name, value) pairs in name order. */
+    const std::map<std::string, double>& entries() const { return stats_; }
+
+    /** Ratio of a stat vs the same stat in another set (base != 0). */
+    double ratioVs(const StatSet& base, const std::string& name) const;
+
+    /** Human-readable dump, one stat per line. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+/** Geometric mean of a series of strictly positive values. */
+double geomean(const std::vector<double>& values);
+
+/** Arithmetic mean; 0 for an empty series. */
+double mean(const std::vector<double>& values);
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_STATS_H

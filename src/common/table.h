@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Aligned console table printer; benches use it to print the same
+ * rows/series the paper's figures and tables report.
+ */
+#ifndef QPRAC_COMMON_TABLE_H
+#define QPRAC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace qprac {
+
+/** Collects rows of strings and prints them column-aligned. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Format a percentage, e.g. 12.4 -> "12.4%". */
+    static std::string pct(double v, int decimals = 1);
+
+    /** Render the table (header, separator, rows) to a string. */
+    std::string toString() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_TABLE_H

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+#ifndef QPRAC_COMMON_TYPES_H
+#define QPRAC_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace qprac {
+
+/** Simulator time, measured in DRAM command-clock cycles (3200 MHz). */
+using Cycle = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Per-row activation count (PRAC counter value). */
+using ActCount = std::uint32_t;
+
+/** A value no real cycle can take; used as "never scheduled". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/** Marker for "no row open" in a bank. */
+inline constexpr int kNoRow = -1;
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_TYPES_H

@@ -1,0 +1,122 @@
+#include "core/psq.h"
+
+#include "common/log.h"
+
+namespace qprac::core {
+
+PriorityServiceQueue::PriorityServiceQueue(int capacity)
+    : entries_(static_cast<std::size_t>(capacity))
+{
+    QP_ASSERT(capacity >= 1, "PSQ capacity must be at least 1");
+}
+
+int
+PriorityServiceQueue::findRow(int row) const
+{
+    for (int i = 0; i < size_; ++i)
+        if (entries_[static_cast<std::size_t>(i)].row == row)
+            return i;
+    return -1;
+}
+
+int
+PriorityServiceQueue::findMin() const
+{
+    QP_ASSERT(size_ > 0, "findMin on empty PSQ");
+    int best = 0;
+    for (int i = 1; i < size_; ++i)
+        if (entries_[static_cast<std::size_t>(i)].count <
+            entries_[static_cast<std::size_t>(best)].count)
+            best = i;
+    return best;
+}
+
+PsqInsert
+PriorityServiceQueue::onActivate(int row, ActCount count)
+{
+    int idx = findRow(row);
+    if (idx >= 0) {
+        // Row already tracked: synchronize with the in-DRAM count.
+        entries_[static_cast<std::size_t>(idx)].count = count;
+        return PsqInsert::Hit;
+    }
+    if (size_ < capacity()) {
+        entries_[static_cast<std::size_t>(size_++)] = {row, count};
+        return PsqInsert::Inserted;
+    }
+    // Priority-based insertion: only displace the minimum if the new
+    // count is strictly higher (paper §III-B2).
+    int min_idx = findMin();
+    if (count > entries_[static_cast<std::size_t>(min_idx)].count) {
+        entries_[static_cast<std::size_t>(min_idx)] = {row, count};
+        return PsqInsert::Evicted;
+    }
+    return PsqInsert::Rejected;
+}
+
+const PriorityServiceQueue::Entry*
+PriorityServiceQueue::top() const
+{
+    if (size_ == 0)
+        return nullptr;
+    int best = 0;
+    for (int i = 1; i < size_; ++i)
+        if (entries_[static_cast<std::size_t>(i)].count >
+            entries_[static_cast<std::size_t>(best)].count)
+            best = i;
+    return &entries_[static_cast<std::size_t>(best)];
+}
+
+ActCount
+PriorityServiceQueue::minCount() const
+{
+    if (size_ < capacity())
+        return 0;
+    return entries_[static_cast<std::size_t>(findMin())].count;
+}
+
+ActCount
+PriorityServiceQueue::maxCount() const
+{
+    const Entry* t = top();
+    return t ? t->count : 0;
+}
+
+bool
+PriorityServiceQueue::remove(int row)
+{
+    int idx = findRow(row);
+    if (idx < 0)
+        return false;
+    entries_[static_cast<std::size_t>(idx)] =
+        entries_[static_cast<std::size_t>(size_ - 1)];
+    --size_;
+    return true;
+}
+
+bool
+PriorityServiceQueue::contains(int row) const
+{
+    return findRow(row) >= 0;
+}
+
+ActCount
+PriorityServiceQueue::countOf(int row) const
+{
+    int idx = findRow(row);
+    return idx >= 0 ? entries_[static_cast<std::size_t>(idx)].count : 0;
+}
+
+std::vector<PriorityServiceQueue::Entry>
+PriorityServiceQueue::snapshot() const
+{
+    return {entries_.begin(), entries_.begin() + size_};
+}
+
+int
+PriorityServiceQueue::storageBits(int capacity, int row_bits, int ctr_bits)
+{
+    return capacity * (row_bits + ctr_bits);
+}
+
+} // namespace qprac::core

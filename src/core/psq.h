@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Priority-based Service Queue (PSQ) — the core of QPRAC (paper §III-B).
+ *
+ * A small per-bank CAM tracking (RowID, activation count) pairs, using
+ * the count as the priority. Unlike a FIFO service queue, the PSQ is
+ * intentionally "full at all times": an activated row whose PRAC count
+ * exceeds the queue's minimum is always inserted (displacing the
+ * minimum), so heavily activated rows can never bypass the queue — the
+ * property that defeats the Fill+Escape attack.
+ */
+#ifndef QPRAC_CORE_PSQ_H
+#define QPRAC_CORE_PSQ_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace qprac::core {
+
+/** Outcome of presenting an activation to the PSQ. */
+enum class PsqInsert
+{
+    Hit,      ///< row already present; count updated in place
+    Inserted, ///< row inserted into a free slot
+    Evicted,  ///< row inserted, displacing the lowest-count entry
+    Rejected, ///< count not higher than the queue minimum; not inserted
+};
+
+/**
+ * Fixed-capacity priority queue over (row, count). Operations are linear
+ * scans over at most a handful of entries, mirroring the 5-entry CAM the
+ * paper synthesizes (15 bytes per bank).
+ */
+class PriorityServiceQueue
+{
+  public:
+    struct Entry
+    {
+        int row = kNoRow;
+        ActCount count = 0;
+    };
+
+    explicit PriorityServiceQueue(int capacity);
+
+    /**
+     * Present an activation of @p row with post-increment PRAC count
+     * @p count (paper §III-B2 insertion policy).
+     */
+    PsqInsert onActivate(int row, ActCount count);
+
+    /** Highest-count entry, or nullptr when empty. */
+    const Entry* top() const;
+
+    /** Lowest count currently tracked (0 when not full). */
+    ActCount minCount() const;
+
+    /** Highest count currently tracked (0 when empty). */
+    ActCount maxCount() const;
+
+    /** Remove @p row if present; returns true if removed. */
+    bool remove(int row);
+
+    bool contains(int row) const;
+
+    /** Count stored for @p row (0 if absent). */
+    ActCount countOf(int row) const;
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity(); }
+    int size() const { return size_; }
+    int capacity() const { return static_cast<int>(entries_.size()); }
+
+    /** Live entries (unordered), for tests and debugging. */
+    std::vector<Entry> snapshot() const;
+
+    /** Storage cost in bits for @p row_bits-wide rows and @p ctr_bits. */
+    static int storageBits(int capacity, int row_bits, int ctr_bits);
+
+  private:
+    int findRow(int row) const;
+    int findMin() const;
+
+    std::vector<Entry> entries_;
+    int size_ = 0;
+};
+
+} // namespace qprac::core
+
+#endif // QPRAC_CORE_PSQ_H

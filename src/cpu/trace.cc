@@ -1,0 +1,133 @@
+#include "cpu/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+
+namespace qprac::cpu {
+
+SyntheticTraceSource::SyntheticTraceSource(const SyntheticStreamParams& p)
+    : p_(p), rng_(p.seed)
+{
+    QP_ASSERT(p_.mem_per_kilo > 0.0, "mem_per_kilo must be positive");
+    QP_ASSERT(p_.footprint_lines > 0 && p_.hot_lines > 0,
+              "pools must be non-empty");
+}
+
+bool
+SyntheticTraceSource::next(TraceEntry& out)
+{
+    // Mean bubbles between memory ops, with +/-50% deterministic jitter;
+    // the fractional part is carried so the long-run rate is exact.
+    const double mean = 1000.0 / p_.mem_per_kilo - 1.0;
+    double jitter = 0.5 + rng_.nextDouble(); // [0.5, 1.5)
+    double want = std::max(0.0, mean * jitter) + bubble_carry_;
+    auto bubbles = static_cast<std::uint32_t>(want);
+    bubble_carry_ = want - static_cast<double>(bubbles);
+
+    out.bubbles = bubbles;
+    out.has_mem = true;
+    out.is_store = rng_.nextBool(p_.store_frac);
+
+    // Region layout per core: [hot pool][hot rows][streaming pool].
+    const std::uint64_t hot_row_lines =
+        static_cast<std::uint64_t>(p_.hot_row_count) *
+        static_cast<std::uint64_t>(p_.lines_per_row);
+    std::uint64_t line;
+    if (rng_.nextBool(p_.hit_frac)) {
+        line = rng_.nextBelow(p_.hot_lines);
+    } else if (p_.hot_row_count > 0 && rng_.nextBool(p_.hot_row_frac)) {
+        std::uint64_t row =
+            rng_.nextBelow(static_cast<std::uint64_t>(p_.hot_row_count));
+        std::uint64_t col = rng_.nextBelow(
+            static_cast<std::uint64_t>(p_.lines_per_row));
+        line = p_.hot_lines +
+               row * static_cast<std::uint64_t>(p_.lines_per_row) + col;
+    } else if (rng_.nextBool(p_.seq_frac)) {
+        stream_pos_ = (stream_pos_ + 1) % p_.footprint_lines;
+        line = p_.hot_lines + hot_row_lines + stream_pos_;
+    } else {
+        stream_pos_ = rng_.nextBelow(p_.footprint_lines);
+        line = p_.hot_lines + hot_row_lines + stream_pos_;
+    }
+    out.addr = p_.base_addr + line * 64;
+    return true;
+}
+
+void
+SyntheticTraceSource::warmupAddrs(std::vector<Addr>& out) const
+{
+    for (std::uint64_t line = 0; line < p_.hot_lines; ++line)
+        out.push_back(p_.base_addr + line * 64);
+}
+
+VectorTraceSource::VectorTraceSource(std::vector<TraceEntry> entries)
+    : entries_(std::move(entries))
+{
+}
+
+bool
+VectorTraceSource::next(TraceEntry& out)
+{
+    if (pos_ >= entries_.size())
+        return false;
+    out = entries_[pos_++];
+    return true;
+}
+
+FileTraceSource::FileTraceSource(const std::string& path, bool loop)
+    : loop_(loop)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strCat("cannot open trace file '", path, "'"));
+    std::string line;
+    while (std::getline(in, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::uint64_t bubbles;
+        if (!(ls >> bubbles))
+            continue; // blank/comment line
+        std::string load_str, store_str;
+        if (!(ls >> load_str))
+            fatal(strCat("trace line missing load address: ", line));
+        auto parse = [&](const std::string& s) {
+            return static_cast<Addr>(std::stoull(s, nullptr, 0));
+        };
+        TraceEntry load;
+        load.bubbles = static_cast<std::uint32_t>(bubbles);
+        load.has_mem = true;
+        load.is_store = false;
+        load.addr = parse(load_str);
+        entries_.push_back(load);
+        if (ls >> store_str) {
+            TraceEntry store;
+            store.bubbles = 0;
+            store.has_mem = true;
+            store.is_store = true;
+            store.addr = parse(store_str);
+            entries_.push_back(store);
+        }
+    }
+    if (entries_.empty())
+        fatal(strCat("trace file '", path, "' contains no entries"));
+}
+
+bool
+FileTraceSource::next(TraceEntry& out)
+{
+    if (pos_ >= entries_.size()) {
+        if (!loop_)
+            return false;
+        pos_ = 0;
+    }
+    out = entries_[pos_++];
+    return true;
+}
+
+} // namespace qprac::cpu

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Instruction-trace abstraction and the synthetic SPEC-like stream
+ * generator that substitutes for the paper's SPEC/TPC/Hadoop/MediaBench/
+ * YCSB traces (see DESIGN.md §1 for the substitution rationale).
+ */
+#ifndef QPRAC_CPU_TRACE_H
+#define QPRAC_CPU_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace qprac::cpu {
+
+/** One trace record: bubble instructions then an optional memory op. */
+struct TraceEntry
+{
+    std::uint32_t bubbles = 0; ///< non-memory instructions to dispatch
+    bool has_mem = false;
+    bool is_store = false;
+    Addr addr = 0; ///< line-aligned physical address of the memory op
+};
+
+/** Source of trace records (synthetic generators are infinite). */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record; false when the trace is exhausted. */
+    virtual bool next(TraceEntry& out) = 0;
+
+    /**
+     * Line addresses that should be cache-resident at simulation start
+     * (avoids cold-start distortion in short runs). Default: none.
+     */
+    virtual void warmupAddrs(std::vector<Addr>& out) const { (void)out; }
+};
+
+/**
+ * Parameters of the two-pool synthetic stream:
+ *  - with probability hit_frac the access goes to a small hot pool that
+ *    stays LLC-resident (models cache-friendly reuse);
+ *  - otherwise it goes to the streaming pool: sequential with
+ *    probability seq_frac (next line), else a uniformly random line.
+ *
+ * Memory intensity is mem_per_kilo memory ops per 1000 instructions;
+ * bubbles between ops are jittered deterministically around the mean.
+ */
+struct SyntheticStreamParams
+{
+    double mem_per_kilo = 50.0;
+    double store_frac = 0.3;
+    double hit_frac = 0.5;
+    double seq_frac = 0.8;
+    std::uint64_t footprint_lines = 1ull << 22; ///< streaming pool size
+    std::uint64_t hot_lines = 2048;             ///< LLC-resident pool size
+    /**
+     * Hot-row tail: fraction of the miss stream directed at a small set
+     * of DRAM rows (reuse distance beyond the LLC, so they miss). This
+     * models the skewed row-popularity of real workloads — the rows
+     * whose activation counts approach the Back-Off threshold.
+     */
+    double hot_row_frac = 0.15;
+    int hot_row_count = 96;
+    int lines_per_row = 128; ///< 8KB row / 64B line
+    Addr base_addr = 0;   ///< per-core address-space offset
+    std::uint64_t seed = 1;
+};
+
+/** Deterministic synthetic trace generator. */
+class SyntheticTraceSource : public TraceSource
+{
+  public:
+    explicit SyntheticTraceSource(const SyntheticStreamParams& params);
+
+    bool next(TraceEntry& out) override;
+
+    /** The hot pool is the warm set. */
+    void warmupAddrs(std::vector<Addr>& out) const override;
+
+  private:
+    SyntheticStreamParams p_;
+    Rng rng_;
+    std::uint64_t stream_pos_ = 0;
+    double bubble_carry_ = 0.0;
+};
+
+/** Fixed-pattern trace for tests: replays a list of entries once. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<TraceEntry> entries);
+
+    bool next(TraceEntry& out) override;
+
+  private:
+    std::vector<TraceEntry> entries_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Ramulator2-style trace file reader. Each line is
+ *
+ *     <bubble_count> <load_addr> [<store_addr>]
+ *
+ * with addresses in decimal or 0x-hex; '#' starts a comment. A load
+ * line yields one blocking load; when a store address is present it is
+ * issued as an additional posted store. When @p loop is true the file
+ * replays from the start on exhaustion (for fixed-instruction runs).
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string& path, bool loop = true);
+
+    bool next(TraceEntry& out) override;
+
+    std::size_t entryCount() const { return entries_.size(); }
+
+  private:
+    std::vector<TraceEntry> entries_;
+    std::size_t pos_ = 0;
+    bool loop_;
+};
+
+} // namespace qprac::cpu
+
+#endif // QPRAC_CPU_TRACE_H

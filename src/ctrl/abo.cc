@@ -1,0 +1,116 @@
+#include "ctrl/abo.h"
+
+namespace qprac::ctrl {
+
+AboEngine::AboEngine(const AboConfig& config,
+                     const dram::TimingParams& timing)
+    : cfg_(config), t_(timing)
+{
+}
+
+void
+AboEngine::tick(dram::DramDevice& dev, Cycle now)
+{
+    switch (state_) {
+      case State::Idle:
+        if (cfg_.enabled && dev.alertAsserted()) {
+            ++alerts_;
+            alert_bank_ =
+                dev.mitigation() ? dev.mitigation()->alertingBank() : -1;
+            policy_mode_ = false;
+            state_ = State::Window;
+            window_end_ = now + static_cast<Cycle>(t_.tABO_window);
+            window_acts_ = 0;
+        } else if (policy_pending_) {
+            policy_pending_ = false;
+            policy_mode_ = true;
+            alert_bank_ = -1;
+            state_ = State::Quiesce;
+            quiesce_since_ = now;
+        }
+        break;
+
+      case State::Window:
+        if (window_acts_ >= t_.abo_act_max || now >= window_end_) {
+            state_ = State::Quiesce;
+            quiesce_since_ = now;
+        }
+        break;
+
+      case State::Quiesce: {
+        bool all_idle = true;
+        for (int r = 0; r < dev.organization().ranks && all_idle; ++r)
+            all_idle = dev.rankIdle(r, now);
+        if (all_idle) {
+            state_ = State::Pumping;
+            rfms_left_ = policy_mode_ ? 1 : cfg_.nmit;
+            next_rfm_at_ = now;
+        }
+        break;
+      }
+
+      case State::Pumping:
+        if (now < next_rfm_at_)
+            break;
+        if (rfms_left_ > 0) {
+            // A REF may have been issued between quiesce and this RFM
+            // slot; wait for its rank to drain before pumping.
+            for (int r = 0; r < dev.organization().ranks; ++r)
+                if (!dev.rankIdle(r, now))
+                    return;
+            dram::RfmScope scope = policy_mode_ ? policy_scope_ : cfg_.scope;
+            next_rfm_at_ = dev.issueRfm(scope, alert_bank_, now);
+            --rfms_left_;
+            if (policy_mode_)
+                ++policy_rfms_;
+            else
+                ++rfms_issued_;
+        } else {
+            if (!policy_mode_)
+                dev.alertServiced(now);
+            policy_mode_ = false;
+            state_ = State::Idle;
+        }
+        break;
+    }
+}
+
+bool
+AboEngine::allowAct() const
+{
+    switch (state_) {
+      case State::Idle:
+        return true;
+      case State::Window:
+        return window_acts_ < t_.abo_act_max;
+      case State::Quiesce:
+      case State::Pumping:
+        return false;
+    }
+    return false;
+}
+
+bool
+AboEngine::allowCas() const
+{
+    // CAS may drain during Quiesce: open rows with pending hits are
+    // served before their precharge (otherwise dense RFM pacing would
+    // close rows faster than their requests can ever complete).
+    return state_ != State::Pumping;
+}
+
+void
+AboEngine::noteActIssued()
+{
+    if (state_ == State::Window)
+        ++window_acts_;
+}
+
+void
+AboEngine::requestPolicyRfm(dram::RfmScope scope)
+{
+    policy_pending_ = true;
+    policy_scope_ = scope;
+}
+
+} // namespace qprac::ctrl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Controller-side Alert Back-Off engine (paper §II-D, Table I) plus the
+ * shared RFM pump used for controller-paced RFM policies (Mithril/PrIDE).
+ *
+ * On ALERT_n assertion the controller may issue up to abo_act_max ACTs
+ * within the tABO_window (180 ns); it then quiesces the channel
+ * (precharging open banks), issues Nmit back-to-back RFM commands, and
+ * notifies the device so ABODelay gating restarts.
+ */
+#ifndef QPRAC_CTRL_ABO_H
+#define QPRAC_CTRL_ABO_H
+
+#include "common/types.h"
+#include "dram/dram_device.h"
+
+namespace qprac::ctrl {
+
+/** ABO engine configuration. */
+struct AboConfig
+{
+    bool enabled = true; ///< false = insecure baseline (no alert service)
+    int nmit = 1;        ///< RFMs per alert (PRAC-1/2/4)
+    dram::RfmScope scope = dram::RfmScope::AllBank;
+};
+
+/** ABO protocol state machine + policy RFM pump. */
+class AboEngine
+{
+  public:
+    AboEngine(const AboConfig& config, const dram::TimingParams& timing);
+
+    /** Advance the state machine; may issue RFM commands. */
+    void tick(dram::DramDevice& dev, Cycle now);
+
+    /** May the controller issue an ACT this cycle? */
+    bool allowAct() const;
+
+    /** May the controller issue a CAS this cycle? */
+    bool allowCas() const;
+
+    /** True while the controller should precharge open banks. */
+    bool quiescing() const { return state_ == State::Quiesce; }
+
+    /** Cycle the current quiesce began (kNeverCycle when not quiescing). */
+    Cycle quiesceSince() const
+    {
+        return state_ == State::Quiesce ? quiesce_since_ : kNeverCycle;
+    }
+
+    /** Controller reports an issued ACT (window budget accounting). */
+    void noteActIssued();
+
+    /** Request a controller-paced RFM (Mithril/PrIDE policies). */
+    void requestPolicyRfm(dram::RfmScope scope);
+
+    bool idle() const { return state_ == State::Idle && !policy_pending_; }
+
+    // Stats.
+    std::uint64_t alerts() const { return alerts_; }
+    std::uint64_t rfmsIssued() const { return rfms_issued_; }
+    std::uint64_t policyRfms() const { return policy_rfms_; }
+
+  private:
+    enum class State
+    {
+        Idle,
+        Window,  ///< alert received; limited ACTs still allowed
+        Quiesce, ///< precharging all banks before the RFMs
+        Pumping, ///< issuing the RFM burst
+    };
+
+    AboConfig cfg_;
+    const dram::TimingParams& t_;
+    State state_ = State::Idle;
+    Cycle window_end_ = 0;
+    Cycle quiesce_since_ = 0;
+    int window_acts_ = 0;
+    int rfms_left_ = 0;
+    Cycle next_rfm_at_ = 0;
+    int alert_bank_ = -1;
+    bool policy_mode_ = false;
+    bool policy_pending_ = false;
+    dram::RfmScope policy_scope_ = dram::RfmScope::AllBank;
+
+    std::uint64_t alerts_ = 0;
+    std::uint64_t rfms_issued_ = 0;
+    std::uint64_t policy_rfms_ = 0;
+};
+
+} // namespace qprac::ctrl
+
+#endif // QPRAC_CTRL_ABO_H

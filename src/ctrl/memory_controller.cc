@@ -1,0 +1,318 @@
+#include "ctrl/memory_controller.h"
+
+#include "common/log.h"
+
+namespace qprac::ctrl {
+
+void
+CtrlStats::exportTo(StatSet& out, const std::string& prefix) const
+{
+    out.set(prefix + "reads_enqueued", static_cast<double>(reads_enqueued));
+    out.set(prefix + "writes_enqueued",
+            static_cast<double>(writes_enqueued));
+    out.set(prefix + "reads_done", static_cast<double>(reads_done));
+    out.set(prefix + "row_hits", static_cast<double>(row_hits));
+    out.set(prefix + "row_misses", static_cast<double>(row_misses));
+    out.set(prefix + "read_latency_sum",
+            static_cast<double>(read_latency_sum));
+    out.set(prefix + "alerts", static_cast<double>(alerts));
+    out.set(prefix + "rfms", static_cast<double>(rfms));
+    out.set(prefix + "policy_rfms", static_cast<double>(policy_rfms));
+    out.set(prefix + "refs", static_cast<double>(refs));
+}
+
+MemoryController::MemoryController(dram::DramDevice& dev,
+                                   const ControllerConfig& config)
+    : dev_(dev),
+      cfg_(config),
+      reads_(config.read_q_capacity),
+      writes_(config.write_q_capacity),
+      abo_(config.abo, dev.timing()),
+      refresh_(dev.timing(), dev.organization().ranks)
+{
+    dev_.setAboDelay(std::max(1, config.abo.nmit));
+    const auto banks = static_cast<std::size_t>(dev.numBanks());
+    bank_policy_acts_.assign(banks, 0);
+    bank_rfm_pending_.assign(banks, 0);
+    bank_rfm_since_.assign(banks, 0);
+}
+
+bool
+MemoryController::enqueueRead(Addr addr, const dram::DecodedAddr& dec,
+                              int source,
+                              std::function<void(Cycle)> on_complete,
+                              Cycle now)
+{
+    if (reads_.full())
+        return false;
+    Request r;
+    r.type = Request::Type::Read;
+    r.addr = addr;
+    r.dec = dec;
+    r.flat_bank = dec.rank * dev_.organization().banksPerRank() +
+                  dec.bankgroup * dev_.organization().banks_per_group +
+                  dec.bank;
+    r.arrive = now;
+    r.id = next_req_id_++;
+    r.source = source;
+    r.on_complete = std::move(on_complete);
+    reads_.push(std::move(r));
+    ++stats_.reads_enqueued;
+    return true;
+}
+
+bool
+MemoryController::enqueueWrite(Addr addr, const dram::DecodedAddr& dec,
+                               int source, Cycle now)
+{
+    if (writes_.full())
+        return false;
+    Request r;
+    r.type = Request::Type::Write;
+    r.addr = addr;
+    r.dec = dec;
+    r.flat_bank = dec.rank * dev_.organization().banksPerRank() +
+                  dec.bankgroup * dev_.organization().banks_per_group +
+                  dec.bank;
+    r.arrive = now;
+    r.id = next_req_id_++;
+    r.source = source;
+    writes_.push(std::move(r));
+    ++stats_.writes_enqueued;
+    return true;
+}
+
+void
+MemoryController::processCompletions(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().at <= now) {
+        Completion c = completions_.top();
+        completions_.pop();
+        if (c.fn)
+            c.fn(c.at);
+    }
+}
+
+bool
+MemoryController::issueQuiescePre(Cycle now)
+{
+    // Precharge open banks demanded by ABO quiesce or a pending REF —
+    // but let row hits that were already queued when the quiesce began
+    // drain first (they can still issue while quiescing). Closing their
+    // row would starve them behind the next quiesce and livelock under
+    // dense RFM pacing; ignoring later arrivals keeps the drain bounded.
+    auto pending_old_hit = [&](int bank, int row, Cycle since) {
+        for (int i = 0; i < reads_.size(); ++i) {
+            const Request& r = reads_.at(i);
+            if (r.flat_bank == bank && r.dec.row == row &&
+                r.arrive <= since)
+                return true;
+        }
+        for (int i = 0; i < writes_.size(); ++i) {
+            const Request& r = writes_.at(i);
+            if (r.flat_bank == bank && r.dec.row == row &&
+                r.arrive <= since)
+                return true;
+        }
+        return false;
+    };
+    const Cycle abo_since = abo_.quiesceSince();
+    for (int b = 0; b < dev_.numBanks(); ++b) {
+        if (!dev_.bank(b).isOpen())
+            continue;
+        Cycle since = kNeverCycle;
+        if (abo_since != kNeverCycle)
+            since = abo_since;
+        Cycle ref_since = refresh_.pendingSince(dev_.rankOf(b));
+        if (ref_since != kNeverCycle)
+            since = std::min(since, ref_since);
+        if (bank_rfm_pending_[static_cast<std::size_t>(b)])
+            since = std::min(since,
+                             bank_rfm_since_[static_cast<std::size_t>(b)]);
+        if (since == kNeverCycle)
+            continue; // no quiesce demand for this bank
+        if (dev_.canPre(b, now) &&
+            !pending_old_hit(b, dev_.bank(b).openRow(), since)) {
+            dev_.issuePre(b, now);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::scheduleQueue(RequestQueue& q, bool is_write,
+                                const SchedConstraints& cons, Cycle now)
+{
+    SchedDecision d = pickFrFcfs(q, is_write, dev_, cons, now);
+    switch (d.kind) {
+      case SchedDecision::Kind::None:
+        return false;
+      case SchedDecision::Kind::Act: {
+        const Request& r = q.at(d.index);
+        dev_.issueAct(r.flat_bank, r.dec.row, now);
+        abo_.noteActIssued();
+        noteActForPolicy(r.flat_bank, now);
+        ++stats_.row_misses;
+        return true;
+      }
+      case SchedDecision::Kind::Pre: {
+        const Request& r = q.at(d.index);
+        dev_.issuePre(r.flat_bank, now);
+        return true;
+      }
+      case SchedDecision::Kind::Cas: {
+        Request r = std::move(q.at(d.index));
+        q.erase(d.index);
+        ++stats_.row_hits;
+        if (is_write) {
+            dev_.issueWrite(r.flat_bank, now);
+        } else {
+            Cycle done = dev_.issueRead(r.flat_bank, now);
+            ++stats_.reads_done;
+            stats_.read_latency_sum += done - r.arrive;
+            if (r.on_complete)
+                completions_.push({done, std::move(r.on_complete)});
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+MemoryController::noteActForPolicy(int flat_bank, Cycle now)
+{
+    const auto& policy = cfg_.rfm_policy;
+    if (!policy.enabled())
+        return;
+    if (policy.per_bank) {
+        // DDR5 RAA semantics: the bank's own counter trips its RFM.
+        auto b = static_cast<std::size_t>(flat_bank);
+        if (++bank_policy_acts_[b] >=
+                static_cast<std::uint32_t>(policy.acts_per_rfm) &&
+            !bank_rfm_pending_[b]) {
+            bank_policy_acts_[b] = 0;
+            bank_rfm_pending_[b] = 1;
+            bank_rfm_since_[b] = now;
+        }
+    } else {
+        ++acts_since_policy_rfm_;
+    }
+}
+
+bool
+MemoryController::servicePerBankRfms(Cycle now)
+{
+    // Issue pending per-bank RFMs once every bank the configured scope
+    // covers has drained; PerBank/SameBank leave the rest of the
+    // channel running (DDR5 RAA semantics).
+    const dram::RfmScope scope = cfg_.rfm_policy.scope;
+    auto coverage_idle = [&](int target) {
+        for (int i = 0; i < dev_.numBanks(); ++i) {
+            bool covered;
+            switch (scope) {
+              case dram::RfmScope::AllBank:
+                covered = true;
+                break;
+              case dram::RfmScope::SameBank:
+                covered = dev_.rankOf(i) == dev_.rankOf(target) &&
+                          dev_.bankIndexOf(i) == dev_.bankIndexOf(target);
+                break;
+              case dram::RfmScope::PerBank:
+              default:
+                covered = i == target;
+                break;
+            }
+            if (covered && !dev_.bank(i).idleAt(now))
+                return false;
+        }
+        return true;
+    };
+    for (int b = 0; b < dev_.numBanks(); ++b) {
+        if (!bank_rfm_pending_[static_cast<std::size_t>(b)])
+            continue;
+        if (coverage_idle(b)) {
+            dev_.issueRfm(scope, b, now);
+            bank_rfm_pending_[static_cast<std::size_t>(b)] = 0;
+            ++per_bank_policy_rfms_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::maybeTriggerPolicyRfm()
+{
+    const auto& policy = cfg_.rfm_policy;
+    if (!policy.enabled() || policy.per_bank)
+        return;
+    if (acts_since_policy_rfm_ >=
+            static_cast<std::uint64_t>(policy.acts_per_rfm) &&
+        abo_.idle()) {
+        abo_.requestPolicyRfm(policy.scope);
+        acts_since_policy_rfm_ = 0;
+    }
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    processCompletions(now);
+    abo_.tick(dev_, now);
+    refresh_.tick(dev_, now);
+    maybeTriggerPolicyRfm();
+
+    // One command per cycle on the command bus.
+    if (issueQuiescePre(now))
+        return;
+    if (servicePerBankRfms(now))
+        return;
+
+    SchedConstraints cons;
+    cons.allow_act = abo_.allowAct();
+    cons.allow_cas = abo_.allowCas();
+    cons.rank_act_blocked.assign(
+        static_cast<std::size_t>(dev_.organization().ranks), 0);
+    for (int r = 0; r < dev_.organization().ranks; ++r)
+        if (refresh_.refPending(r))
+            cons.rank_act_blocked[static_cast<std::size_t>(r)] = 1;
+    cons.bank_act_blocked = &bank_rfm_pending_;
+
+    // Write drain mode hysteresis.
+    if (!drain_mode_ && (writes_.size() >= cfg_.write_drain_high ||
+                         (reads_.empty() && !writes_.empty())))
+        drain_mode_ = true;
+    if (drain_mode_ &&
+        (writes_.size() <= cfg_.write_drain_low ||
+         (writes_.empty())))
+        drain_mode_ = false;
+
+    if (drain_mode_) {
+        if (!scheduleQueue(writes_, true, cons, now))
+            scheduleQueue(reads_, false, cons, now);
+    } else {
+        if (!scheduleQueue(reads_, false, cons, now))
+            scheduleQueue(writes_, true, cons, now);
+    }
+}
+
+bool
+MemoryController::drained() const
+{
+    return reads_.empty() && writes_.empty() && completions_.empty();
+}
+
+CtrlStats
+MemoryController::stats() const
+{
+    CtrlStats s = stats_;
+    s.alerts = abo_.alerts();
+    s.rfms = abo_.rfmsIssued();
+    s.policy_rfms = abo_.policyRfms() + per_bank_policy_rfms_;
+    s.refs = refresh_.refsIssued();
+    return s;
+}
+
+} // namespace qprac::ctrl

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The memory controller: request queues, FR-FCFS scheduling with an
+ * open-page policy, write draining, refresh, the ABO protocol, and
+ * controller-paced RFM policies.
+ */
+#ifndef QPRAC_CTRL_MEMORY_CONTROLLER_H
+#define QPRAC_CTRL_MEMORY_CONTROLLER_H
+
+#include <queue>
+#include <string>
+
+#include "common/stats.h"
+#include "ctrl/abo.h"
+#include "ctrl/refresh.h"
+#include "ctrl/request.h"
+#include "ctrl/scheduler.h"
+#include "dram/dram_device.h"
+#include "mitigations/rfm_policy.h"
+
+namespace qprac::ctrl {
+
+/** Controller configuration. */
+struct ControllerConfig
+{
+    int read_q_capacity = 64;
+    int write_q_capacity = 64;
+    int write_drain_high = 48; ///< enter drain mode at this occupancy
+    int write_drain_low = 16;  ///< leave drain mode at this occupancy
+    AboConfig abo;
+    mitigations::RfmPolicy rfm_policy; ///< Mithril/PrIDE pacing (optional)
+};
+
+/** Controller stat counters. */
+struct CtrlStats
+{
+    std::uint64_t reads_enqueued = 0;
+    std::uint64_t writes_enqueued = 0;
+    std::uint64_t reads_done = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    std::uint64_t read_latency_sum = 0;
+    std::uint64_t alerts = 0;
+    std::uint64_t rfms = 0;
+    std::uint64_t policy_rfms = 0;
+    std::uint64_t refs = 0;
+
+    void exportTo(StatSet& out, const std::string& prefix) const;
+};
+
+/** Single-channel DDR5 memory controller. */
+class MemoryController
+{
+  public:
+    MemoryController(dram::DramDevice& dev, const ControllerConfig& config);
+
+    /**
+     * Enqueue a read; @p on_complete fires at data return.
+     * @return false when the read queue is full (caller retries).
+     */
+    bool enqueueRead(Addr addr, const dram::DecodedAddr& dec, int source,
+                     std::function<void(Cycle)> on_complete, Cycle now);
+
+    /** Enqueue a posted write; false when the write queue is full. */
+    bool enqueueWrite(Addr addr, const dram::DecodedAddr& dec, int source,
+                      Cycle now);
+
+    /** Advance one DRAM command-clock cycle. */
+    void tick(Cycle now);
+
+    /** True when no requests are queued or in flight. */
+    bool drained() const;
+
+    bool readQueueFull() const { return reads_.full(); }
+    bool writeQueueFull() const { return writes_.full(); }
+
+    CtrlStats stats() const;
+    const AboEngine& abo() const { return abo_; }
+    dram::DramDevice& device() { return dev_; }
+
+  private:
+    struct Completion
+    {
+        Cycle at;
+        std::function<void(Cycle)> fn;
+        bool operator>(const Completion& o) const { return at > o.at; }
+    };
+
+    void processCompletions(Cycle now);
+    bool issueQuiescePre(Cycle now);
+    bool scheduleQueue(RequestQueue& q, bool is_write,
+                       const SchedConstraints& cons, Cycle now);
+    void maybeTriggerPolicyRfm();
+    void noteActForPolicy(int flat_bank, Cycle now);
+    bool servicePerBankRfms(Cycle now);
+
+    dram::DramDevice& dev_;
+    ControllerConfig cfg_;
+    RequestQueue reads_;
+    RequestQueue writes_;
+    bool drain_mode_ = false;
+    AboEngine abo_;
+    RefreshScheduler refresh_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions_;
+    std::uint64_t acts_since_policy_rfm_ = 0;
+    std::vector<std::uint32_t> bank_policy_acts_; ///< per-bank RAA counters
+    std::vector<char> bank_rfm_pending_;
+    std::vector<Cycle> bank_rfm_since_;
+    std::uint64_t per_bank_policy_rfms_ = 0;
+    std::uint64_t next_req_id_ = 0;
+    CtrlStats stats_;
+};
+
+} // namespace qprac::ctrl
+
+#endif // QPRAC_CTRL_MEMORY_CONTROLLER_H

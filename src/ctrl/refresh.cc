@@ -1,0 +1,48 @@
+#include "ctrl/refresh.h"
+
+namespace qprac::ctrl {
+
+RefreshScheduler::RefreshScheduler(const dram::TimingParams& timing,
+                                   int ranks)
+    : t_(timing)
+{
+    ranks_.resize(static_cast<std::size_t>(ranks));
+    // Stagger ranks across the tREFI interval.
+    for (int r = 0; r < ranks; ++r)
+        ranks_[static_cast<std::size_t>(r)].next_due =
+            static_cast<Cycle>(t_.tREFI) * static_cast<Cycle>(r + 1) /
+            static_cast<Cycle>(ranks);
+}
+
+void
+RefreshScheduler::tick(dram::DramDevice& dev, Cycle now)
+{
+    for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+        auto& st = ranks_[static_cast<std::size_t>(r)];
+        if (!st.pending && now >= st.next_due) {
+            st.pending = true;
+            st.pending_since = now;
+        }
+        if (st.pending && dev.rankIdle(r, now)) {
+            dev.issueRefresh(r, now);
+            ++refs_issued_;
+            st.pending = false;
+            st.next_due += static_cast<Cycle>(t_.tREFI);
+        }
+    }
+}
+
+bool
+RefreshScheduler::refPending(int rank) const
+{
+    return ranks_[static_cast<std::size_t>(rank)].pending;
+}
+
+Cycle
+RefreshScheduler::pendingSince(int rank) const
+{
+    const auto& st = ranks_[static_cast<std::size_t>(rank)];
+    return st.pending ? st.pending_since : kNeverCycle;
+}
+
+} // namespace qprac::ctrl

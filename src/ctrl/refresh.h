@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-rank refresh scheduling: one all-bank REF per tREFI per rank,
+ * staggered across ranks. While a REF is due, the controller quiesces
+ * that rank (no new ACTs; open rows are precharged) until the device
+ * reports the rank idle and the REF can issue.
+ */
+#ifndef QPRAC_CTRL_REFRESH_H
+#define QPRAC_CTRL_REFRESH_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "dram/dram_device.h"
+
+namespace qprac::ctrl {
+
+/** Issues REF commands and exposes the per-rank quiesce requirement. */
+class RefreshScheduler
+{
+  public:
+    RefreshScheduler(const dram::TimingParams& timing, int ranks);
+
+    /** Advance; issues REFs whose rank has become idle. */
+    void tick(dram::DramDevice& dev, Cycle now);
+
+    /** True while a REF is due for @p rank (controller must quiesce). */
+    bool refPending(int rank) const;
+
+    /** Cycle the pending REF was first due (kNeverCycle if none). */
+    Cycle pendingSince(int rank) const;
+
+    std::uint64_t refsIssued() const { return refs_issued_; }
+
+  private:
+    struct RankState
+    {
+        Cycle next_due = 0;
+        bool pending = false;
+        Cycle pending_since = 0;
+    };
+
+    const dram::TimingParams& t_;
+    std::vector<RankState> ranks_;
+    std::uint64_t refs_issued_ = 0;
+};
+
+} // namespace qprac::ctrl
+
+#endif // QPRAC_CTRL_REFRESH_H

@@ -1,0 +1,27 @@
+#include "ctrl/request.h"
+
+#include "common/log.h"
+
+namespace qprac::ctrl {
+
+RequestQueue::RequestQueue(int capacity) : capacity_(capacity)
+{
+    QP_ASSERT(capacity >= 1, "queue capacity must be positive");
+    q_.reserve(static_cast<std::size_t>(capacity));
+}
+
+void
+RequestQueue::push(Request&& req)
+{
+    QP_ASSERT(!full(), "push to a full request queue");
+    q_.push_back(std::move(req));
+}
+
+void
+RequestQueue::erase(int i)
+{
+    QP_ASSERT(i >= 0 && i < size(), "erase index out of range");
+    q_.erase(q_.begin() + i);
+}
+
+} // namespace qprac::ctrl

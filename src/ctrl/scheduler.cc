@@ -1,0 +1,69 @@
+#include "ctrl/scheduler.h"
+
+namespace qprac::ctrl {
+
+namespace {
+
+bool
+anyHitOnOpenRow(const RequestQueue& q, int flat_bank, int open_row)
+{
+    for (int i = 0; i < q.size(); ++i) {
+        const Request& r = q.at(i);
+        if (r.flat_bank == flat_bank && r.dec.row == open_row)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+SchedDecision
+pickFrFcfs(const RequestQueue& q, bool is_write, const dram::DramDevice& dev,
+           const SchedConstraints& cons, Cycle now)
+{
+    // Pass 1: oldest ready row-hit CAS.
+    if (cons.allow_cas) {
+        for (int i = 0; i < q.size(); ++i) {
+            const Request& r = q.at(i);
+            const dram::Bank& bank = dev.bank(r.flat_bank);
+            if (!bank.isOpen() || bank.openRow() != r.dec.row)
+                continue;
+            bool ready = is_write ? dev.canWrite(r.flat_bank, now)
+                                  : dev.canRead(r.flat_bank, now);
+            if (ready)
+                return {SchedDecision::Kind::Cas, i};
+        }
+    }
+
+    // Pass 2: oldest request needing an ACT or a PRE.
+    for (int i = 0; i < q.size(); ++i) {
+        const Request& r = q.at(i);
+        const dram::Bank& bank = dev.bank(r.flat_bank);
+        if (bank.isOpen() && bank.openRow() == r.dec.row)
+            continue; // waiting on CAS timing; nothing to do here
+        int rank = dev.rankOf(r.flat_bank);
+        bool rank_blocked =
+            rank < static_cast<int>(cons.rank_act_blocked.size()) &&
+            cons.rank_act_blocked[static_cast<std::size_t>(rank)];
+        bool bank_blocked =
+            cons.bank_act_blocked &&
+            r.flat_bank <
+                static_cast<int>(cons.bank_act_blocked->size()) &&
+            (*cons.bank_act_blocked)[static_cast<std::size_t>(
+                r.flat_bank)];
+        if (!bank.isOpen()) {
+            if (cons.allow_act && !rank_blocked && !bank_blocked &&
+                dev.canAct(r.flat_bank, now))
+                return {SchedDecision::Kind::Act, i};
+        } else {
+            // Row conflict: close the row only once no queued request
+            // still wants it (avoids thrashing open rows).
+            if (dev.canPre(r.flat_bank, now) &&
+                !anyHitOnOpenRow(q, r.flat_bank, bank.openRow()))
+                return {SchedDecision::Kind::Pre, i};
+        }
+    }
+    return {};
+}
+
+} // namespace qprac::ctrl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FR-FCFS command selection over a request queue.
+ */
+#ifndef QPRAC_CTRL_SCHEDULER_H
+#define QPRAC_CTRL_SCHEDULER_H
+
+#include <vector>
+
+#include "ctrl/request.h"
+#include "dram/dram_device.h"
+
+namespace qprac::ctrl {
+
+/** What the scheduler decided to issue this cycle. */
+struct SchedDecision
+{
+    enum class Kind
+    {
+        None,
+        Cas, ///< RD or WR for queue entry `index`
+        Act, ///< ACT for queue entry `index`
+        Pre, ///< PRE of the bank blocking queue entry `index`
+    };
+
+    Kind kind = Kind::None;
+    int index = -1;
+};
+
+/** Per-cycle constraints imposed by refresh/ABO/RFM quiesce states. */
+struct SchedConstraints
+{
+    bool allow_act = true;
+    bool allow_cas = true;
+    /** Ranks with a pending REF: no new ACTs there. */
+    std::vector<char> rank_act_blocked;
+    /** Banks awaiting a per-bank policy RFM: no new ACTs there. */
+    const std::vector<char>* bank_act_blocked = nullptr;
+};
+
+/**
+ * First-Ready, First-Come-First-Served:
+ *  1. the oldest request whose row is open and whose CAS is issuable;
+ *  2. otherwise the oldest request whose bank can accept an ACT;
+ *  3. otherwise a PRE for the oldest conflicting request, provided no
+ *     other queued request still hits the currently open row.
+ */
+SchedDecision pickFrFcfs(const RequestQueue& q, bool is_write,
+                         const dram::DramDevice& dev,
+                         const SchedConstraints& cons, Cycle now);
+
+} // namespace qprac::ctrl
+
+#endif // QPRAC_CTRL_SCHEDULER_H

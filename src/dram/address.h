@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DRAM organization and physical-address <-> device-coordinate mapping.
+ */
+#ifndef QPRAC_DRAM_ADDRESS_H
+#define QPRAC_DRAM_ADDRESS_H
+
+#include "common/types.h"
+
+namespace qprac::dram {
+
+/** Geometry of the memory system (paper Table II defaults). */
+struct Organization
+{
+    int channels = 1;
+    int ranks = 2;
+    int bankgroups = 8;
+    int banks_per_group = 4;
+    int rows_per_bank = 128 * 1024;
+    int row_bytes = 8192;
+    int line_bytes = 64;
+
+    int banksPerRank() const { return bankgroups * banks_per_group; }
+    int totalBanks() const { return channels * ranks * banksPerRank(); }
+    int columnsPerRow() const { return row_bytes / line_bytes; }
+
+    /** A small organization for fast unit tests. */
+    static Organization tiny();
+};
+
+/** Decoded device coordinates for one cache-line address. */
+struct DecodedAddr
+{
+    int channel = 0;
+    int rank = 0;
+    int bankgroup = 0;
+    int bank = 0; ///< bank index within the bank group
+    int row = 0;
+    int column = 0; ///< cache-line-sized column index within the row
+
+    bool operator==(const DecodedAddr&) const = default;
+};
+
+/** Physical bit layout used to interleave addresses across the devices. */
+enum class MappingScheme
+{
+    /**
+     * Row : Rank : BankGroup : Bank : Column : Offset (MSB -> LSB).
+     * Consecutive lines stay in the same row (high row-buffer locality).
+     */
+    RoRaBgBaCo,
+    /**
+     * Row : Column : Rank : BankGroup : Bank : Offset. Consecutive lines
+     * stripe across banks (high bank-level parallelism).
+     */
+    RoCoRaBgBa,
+};
+
+/**
+ * Composes/decomposes physical addresses. Field widths are derived from
+ * the Organization (all fields must be powers of two).
+ */
+class AddressMapper
+{
+  public:
+    AddressMapper(const Organization& org,
+                  MappingScheme scheme = MappingScheme::RoRaBgBaCo);
+
+    DecodedAddr decode(Addr addr) const;
+    Addr encode(const DecodedAddr& dec) const;
+
+    /** Flat bank id in [0, totalBanks) for (channel, rank, bg, bank). */
+    int flatBank(const DecodedAddr& dec) const;
+
+    /** Convenience: build an address for explicit coordinates. */
+    Addr makeAddr(int channel, int rank, int bankgroup, int bank, int row,
+                  int column) const;
+
+    const Organization& organization() const { return org_; }
+
+  private:
+    struct Field
+    {
+        int shift = 0;
+        int bits = 0;
+    };
+
+    int extract(Addr addr, const Field& f) const;
+
+    Organization org_;
+    MappingScheme scheme_;
+    Field f_channel_, f_rank_, f_bg_, f_bank_, f_row_, f_col_;
+    int offset_bits_ = 0;
+};
+
+} // namespace qprac::dram
+
+#endif // QPRAC_DRAM_ADDRESS_H

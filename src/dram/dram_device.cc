@@ -1,0 +1,241 @@
+#include "dram/dram_device.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace qprac::dram {
+
+void
+DeviceStats::exportTo(StatSet& out, const std::string& prefix) const
+{
+    out.set(prefix + "acts", static_cast<double>(acts));
+    out.set(prefix + "pres", static_cast<double>(pres));
+    out.set(prefix + "reads", static_cast<double>(reads));
+    out.set(prefix + "writes", static_cast<double>(writes));
+    out.set(prefix + "refs", static_cast<double>(refs));
+    out.set(prefix + "rfms", static_cast<double>(rfms));
+}
+
+DramDevice::DramDevice(const Organization& org, const TimingParams& timing,
+                       int blast_radius)
+    : org_(org),
+      t_(timing),
+      counters_(org.ranks * org.banksPerRank(), org.rows_per_bank,
+                blast_radius)
+{
+    QP_ASSERT(org_.channels == 1, "DramDevice models one channel");
+    const int total = org_.ranks * org_.banksPerRank();
+    banks_.reserve(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i)
+        banks_.emplace_back(t_);
+    for (int r = 0; r < org_.ranks; ++r)
+        rank_timing_.emplace_back(t_);
+}
+
+void
+DramDevice::setMitigation(RowhammerMitigation* mitigation)
+{
+    mitigation_ = mitigation;
+}
+
+void
+DramDevice::setAboDelay(int acts)
+{
+    QP_ASSERT(acts >= 1, "ABODelay must be at least one ACT");
+    abo_delay_acts_ = acts;
+}
+
+Bank&
+DramDevice::bank(int flat_bank)
+{
+    QP_ASSERT(flat_bank >= 0 && flat_bank < numBanks(), "bank out of range");
+    return banks_[static_cast<std::size_t>(flat_bank)];
+}
+
+const Bank&
+DramDevice::bank(int flat_bank) const
+{
+    QP_ASSERT(flat_bank >= 0 && flat_bank < numBanks(), "bank out of range");
+    return banks_[static_cast<std::size_t>(flat_bank)];
+}
+
+int
+DramDevice::bankgroupOf(int flat_bank) const
+{
+    return (flat_bank % org_.banksPerRank()) / org_.banks_per_group;
+}
+
+int
+DramDevice::bankIndexOf(int flat_bank) const
+{
+    return flat_bank % org_.banks_per_group;
+}
+
+bool
+DramDevice::canAct(int flat_bank, Cycle now) const
+{
+    const Bank& b = bank(flat_bank);
+    if (!b.canAct(now))
+        return false;
+    return rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))].canAct(
+        bankgroupOf(flat_bank), now);
+}
+
+bool
+DramDevice::canPre(int flat_bank, Cycle now) const
+{
+    return bank(flat_bank).canPre(now);
+}
+
+bool
+DramDevice::canRead(int flat_bank, Cycle now) const
+{
+    const Bank& b = bank(flat_bank);
+    if (!b.canRead(now))
+        return false;
+    if (!rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))].canCas(
+            bankgroupOf(flat_bank), now))
+        return false;
+    return now + t_.tCL >= data_bus_free_;
+}
+
+bool
+DramDevice::canWrite(int flat_bank, Cycle now) const
+{
+    const Bank& b = bank(flat_bank);
+    if (!b.canWrite(now))
+        return false;
+    if (!rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))].canCas(
+            bankgroupOf(flat_bank), now))
+        return false;
+    return now + t_.tCWL >= data_bus_free_;
+}
+
+bool
+DramDevice::rankIdle(int rank, Cycle now) const
+{
+    const int per_rank = org_.banksPerRank();
+    for (int i = rank * per_rank; i < (rank + 1) * per_rank; ++i)
+        if (!banks_[static_cast<std::size_t>(i)].idleAt(now))
+            return false;
+    return true;
+}
+
+void
+DramDevice::issueAct(int flat_bank, int row, Cycle now)
+{
+    QP_ASSERT(canAct(flat_bank, now), "illegal ACT");
+    bank(flat_bank).doAct(row, now);
+    rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))].recordAct(
+        bankgroupOf(flat_bank), now);
+    ++stats_.acts;
+    ++acts_total_;
+    ActCount count = counters_.onActivate(flat_bank, row);
+    if (mitigation_)
+        mitigation_->onActivate(flat_bank, row, count, now);
+}
+
+void
+DramDevice::issuePre(int flat_bank, Cycle now)
+{
+    bank(flat_bank).doPre(now);
+    ++stats_.pres;
+}
+
+Cycle
+DramDevice::issueRead(int flat_bank, Cycle now)
+{
+    QP_ASSERT(canRead(flat_bank, now), "illegal RD");
+    Cycle done = bank(flat_bank).doRead(now);
+    rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))].recordCas(
+        bankgroupOf(flat_bank), now);
+    data_bus_free_ = now + t_.tCL + t_.tBL;
+    ++stats_.reads;
+    return done;
+}
+
+Cycle
+DramDevice::issueWrite(int flat_bank, Cycle now)
+{
+    QP_ASSERT(canWrite(flat_bank, now), "illegal WR");
+    Cycle done = bank(flat_bank).doWrite(now);
+    rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))].recordCas(
+        bankgroupOf(flat_bank), now);
+    data_bus_free_ = now + t_.tCWL + t_.tBL;
+    ++stats_.writes;
+    return done;
+}
+
+void
+DramDevice::issueRefresh(int rank, Cycle now)
+{
+    QP_ASSERT(rankIdle(rank, now), "REF requires an idle rank");
+    const int per_rank = org_.banksPerRank();
+    const Cycle until = now + t_.tRFC;
+    for (int i = rank * per_rank; i < (rank + 1) * per_rank; ++i) {
+        banks_[static_cast<std::size_t>(i)].block(until);
+        // Proactive mitigation opportunity in the REF shadow (§III-D2).
+        if (mitigation_)
+            mitigation_->onRefresh(i, now);
+    }
+    ++stats_.refs;
+}
+
+Cycle
+DramDevice::issueRfm(RfmScope scope, int alert_bank, Cycle now)
+{
+    Cycle until = now;
+    auto covered = [&](int flat_bank) {
+        switch (scope) {
+          case RfmScope::AllBank:
+            return true;
+          case RfmScope::SameBank:
+            return alert_bank >= 0 &&
+                   rankOf(flat_bank) == rankOf(alert_bank) &&
+                   bankIndexOf(flat_bank) == bankIndexOf(alert_bank);
+          case RfmScope::PerBank:
+            return flat_bank == alert_bank;
+        }
+        return false;
+    };
+    int duration = scope == RfmScope::AllBank    ? t_.tRFMab
+                   : scope == RfmScope::SameBank ? t_.tRFMsb
+                                                 : t_.tRFMpb;
+    until = now + duration;
+    for (int i = 0; i < numBanks(); ++i) {
+        if (!covered(i))
+            continue;
+        QP_ASSERT(banks_[static_cast<std::size_t>(i)].idleAt(now),
+                  "RFM requires covered banks to be precharged");
+        banks_[static_cast<std::size_t>(i)].block(until);
+        if (mitigation_)
+            mitigation_->onRfm(i, scope, i == alert_bank, now);
+    }
+    ++stats_.rfms;
+    return until;
+}
+
+bool
+DramDevice::alertAsserted() const
+{
+    if (!mitigation_ || !mitigation_->wantsAlert())
+        return false;
+    // ABODelay: after an alert is serviced, the next alert may only be
+    // asserted once the device has serviced abo_delay_acts_ further ACTs.
+    if (alert_ever_serviced_ &&
+        acts_total_ < acts_at_last_service_ + abo_delay_acts_) {
+        return false;
+    }
+    return true;
+}
+
+void
+DramDevice::alertServiced(Cycle now)
+{
+    (void)now;
+    alert_ever_serviced_ = true;
+    acts_at_last_service_ = acts_total_;
+}
+
+} // namespace qprac::dram

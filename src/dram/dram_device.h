@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Channel-level DRAM device model.
+ *
+ * Owns the banks, rank-level timing, the shared data bus, the PRAC
+ * counters, and the attached Rowhammer mitigation. The memory controller
+ * issues commands through this class; the device verifies timing, applies
+ * state changes and drives the mitigation hooks (ACT counting, RFM and
+ * REF mitigation opportunities, ALERT_n with ABODelay gating).
+ */
+#ifndef QPRAC_DRAM_DRAM_DEVICE_H
+#define QPRAC_DRAM_DRAM_DEVICE_H
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/address.h"
+#include "dram/bank.h"
+#include "dram/mitigation_iface.h"
+#include "dram/prac_counters.h"
+#include "dram/rank.h"
+#include "dram/timing.h"
+
+namespace qprac::dram {
+
+/** Aggregate command counts for stats and the energy model. */
+struct DeviceStats
+{
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t rfms = 0;
+
+    void exportTo(StatSet& out, const std::string& prefix) const;
+};
+
+/** One DRAM channel (the paper's configuration has a single channel). */
+class DramDevice
+{
+  public:
+    DramDevice(const Organization& org, const TimingParams& timing,
+               int blast_radius = 2);
+
+    /** Attach the in-DRAM mitigation (may be null = insecure baseline). */
+    void setMitigation(RowhammerMitigation* mitigation);
+
+    /** ABODelay in ACTs (paper Table I: equals Nmit). */
+    void setAboDelay(int acts);
+
+    const Organization& organization() const { return org_; }
+    const TimingParams& timing() const { return t_; }
+    PracCounters& pracCounters() { return counters_; }
+    const PracCounters& pracCounters() const { return counters_; }
+    RowhammerMitigation* mitigation() { return mitigation_; }
+
+    Bank& bank(int flat_bank);
+    const Bank& bank(int flat_bank) const;
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+
+    int rankOf(int flat_bank) const { return flat_bank / org_.banksPerRank(); }
+    int bankgroupOf(int flat_bank) const;
+    int bankIndexOf(int flat_bank) const; ///< index within the bank group
+
+    // --- Command availability checks -----------------------------------
+    bool canAct(int flat_bank, Cycle now) const;
+    bool canPre(int flat_bank, Cycle now) const;
+    bool canRead(int flat_bank, Cycle now) const;
+    bool canWrite(int flat_bank, Cycle now) const;
+
+    /** True when every bank in @p rank is precharged and unblocked. */
+    bool rankIdle(int rank, Cycle now) const;
+
+    // --- Command issue --------------------------------------------------
+    /** Issue an ACT; increments PRAC and notifies the mitigation. */
+    void issueAct(int flat_bank, int row, Cycle now);
+
+    void issuePre(int flat_bank, Cycle now);
+
+    /** Returns the cycle the read data is delivered. */
+    Cycle issueRead(int flat_bank, Cycle now);
+
+    /** Returns the cycle the write burst completes. */
+    Cycle issueWrite(int flat_bank, Cycle now);
+
+    /**
+     * All-bank refresh of @p rank; banks blocked for tRFC and each bank
+     * gets a proactive-mitigation opportunity in the REF shadow.
+     */
+    void issueRefresh(int rank, Cycle now);
+
+    /**
+     * RFM command. For AllBank the whole channel is blocked for tRFMab
+     * and every bank receives a mitigation opportunity. For SameBank the
+     * target bank-index across all bank groups of the alerting rank is
+     * covered; for PerBank only the alerting bank.
+     *
+     * @param alert_bank flat bank whose tracker raised the alert (-1 if
+     *        the RFM is controller-initiated, e.g. PrIDE/Mithril policy)
+     * @return the cycle the RFM completes
+     */
+    Cycle issueRfm(RfmScope scope, int alert_bank, Cycle now);
+
+    // --- Alert Back-Off -------------------------------------------------
+    /** ALERT_n as seen by the controller (mitigation AND ABODelay gate). */
+    bool alertAsserted() const;
+
+    /** Called by the controller when an alert's RFMs have been issued. */
+    void alertServiced(Cycle now);
+
+    const DeviceStats& stats() const { return stats_; }
+
+  private:
+    Organization org_;
+    TimingParams t_;
+    PracCounters counters_;
+    std::vector<Bank> banks_;
+    std::vector<RankTiming> rank_timing_;
+    RowhammerMitigation* mitigation_ = nullptr;
+
+    Cycle data_bus_free_ = 0;
+    int abo_delay_acts_ = 1;
+    std::uint64_t acts_total_ = 0;
+    std::uint64_t acts_at_last_service_ = 0;
+    bool alert_ever_serviced_ = false;
+
+    DeviceStats stats_;
+};
+
+} // namespace qprac::dram
+
+#endif // QPRAC_DRAM_DRAM_DEVICE_H

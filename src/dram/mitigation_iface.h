@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Interface between the DRAM device and an in-DRAM Rowhammer mitigation.
+ *
+ * The DRAM device drives this interface: it reports every ACT (after the
+ * PRAC counter update), every RFM and REF opportunity, and samples the
+ * ALERT_n request level. Implementations (QPRAC, Panopticon, MOAT, ...)
+ * decide what to track and which rows to mitigate, performing the actual
+ * victim refreshes through the shared PracCounters.
+ */
+#ifndef QPRAC_DRAM_MITIGATION_IFACE_H
+#define QPRAC_DRAM_MITIGATION_IFACE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace qprac::dram {
+
+class PracCounters;
+
+/** Which banks an RFM command covers. */
+enum class RfmScope
+{
+    AllBank,  ///< RFMab: every bank in the channel
+    SameBank, ///< RFMsb: one bank index across all bank groups of a rank
+    PerBank,  ///< RFMpb: a single bank (proposed interface extension)
+};
+
+/** Counters every mitigation implementation maintains. */
+struct MitigationStats
+{
+    std::uint64_t alerts = 0;            ///< ALERT_n assertions
+    std::uint64_t rfm_mitigations = 0;   ///< rows mitigated during RFMs
+    std::uint64_t proactive_mitigations = 0; ///< rows mitigated during REFs
+    std::uint64_t victim_refreshes = 0;  ///< blast-radius refreshes issued
+    std::uint64_t psq_insertions = 0;    ///< new rows entering the tracker
+    std::uint64_t psq_evictions = 0;     ///< rows displaced from the tracker
+    std::uint64_t psq_hits = 0;          ///< in-place count updates
+    std::uint64_t dropped_mitigations = 0; ///< rows lost (insecure designs)
+
+    void exportTo(StatSet& out, const std::string& prefix) const;
+};
+
+/** Abstract in-DRAM Rowhammer mitigation. */
+class RowhammerMitigation
+{
+  public:
+    virtual ~RowhammerMitigation() = default;
+
+    /**
+     * Called once per ACT, after the device incremented the PRAC counter.
+     *
+     * @param flat_bank flat bank id
+     * @param row activated row
+     * @param count post-increment PRAC count (0 if device has no PRAC)
+     */
+    virtual void onActivate(int flat_bank, int row, ActCount count,
+                            Cycle cycle) = 0;
+
+    /**
+     * Level of the ALERT_n request: true while the device wants the host
+     * to start the ABO flow. The device gates this with ABODelay.
+     */
+    virtual bool wantsAlert() const = 0;
+
+    /**
+     * One RFM opportunity for @p flat_bank.
+     *
+     * @param alerting_bank true if this bank's tracker triggered the alert
+     *        (QPRAC-NoOp only mitigates in that case; opportunistic
+     *        designs mitigate regardless, paper §III-D1)
+     */
+    virtual void onRfm(int flat_bank, RfmScope scope, bool alerting_bank,
+                       Cycle cycle) = 0;
+
+    /** One REF shadow opportunity for @p flat_bank (proactive, §III-D2). */
+    virtual void onRefresh(int flat_bank, Cycle cycle) = 0;
+
+    /** The bank whose tracker wants the alert (-1 if none). */
+    virtual int alertingBank() const = 0;
+
+    virtual const MitigationStats& stats() const = 0;
+    virtual std::string name() const = 0;
+};
+
+} // namespace qprac::dram
+
+#endif // QPRAC_DRAM_MITIGATION_IFACE_H

@@ -1,0 +1,100 @@
+#include "dram/prac_counters.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace qprac::dram {
+
+PracCounters::PracCounters(int num_banks, int rows_per_bank, int blast_radius)
+    : num_banks_(num_banks),
+      rows_per_bank_(rows_per_bank),
+      blast_radius_(blast_radius),
+      counters_(static_cast<std::size_t>(num_banks))
+{
+    QP_ASSERT(num_banks > 0 && rows_per_bank > 0 && blast_radius >= 0,
+              "invalid PracCounters geometry");
+    for (auto& bank : counters_)
+        bank.assign(static_cast<std::size_t>(rows_per_bank), 0);
+}
+
+std::vector<ActCount>&
+PracCounters::bankArray(int bank)
+{
+    QP_ASSERT(bank >= 0 && bank < num_banks_, "bank out of range");
+    return counters_[static_cast<std::size_t>(bank)];
+}
+
+const std::vector<ActCount>&
+PracCounters::bankArray(int bank) const
+{
+    QP_ASSERT(bank >= 0 && bank < num_banks_, "bank out of range");
+    return counters_[static_cast<std::size_t>(bank)];
+}
+
+ActCount
+PracCounters::onActivate(int bank, int row)
+{
+    auto& arr = bankArray(bank);
+    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
+    ++total_acts_;
+    return ++arr[static_cast<std::size_t>(row)];
+}
+
+ActCount
+PracCounters::count(int bank, int row) const
+{
+    const auto& arr = bankArray(bank);
+    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
+    return arr[static_cast<std::size_t>(row)];
+}
+
+int
+PracCounters::mitigate(int bank, int row, VictimInfo* victims,
+                       bool reset_aggressor)
+{
+    auto& arr = bankArray(bank);
+    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
+    int written = 0;
+    for (int d = 1; d <= blast_radius_; ++d) {
+        for (int sign : {-1, +1}) {
+            int victim = row + sign * d;
+            if (victim < 0 || victim >= rows_per_bank_)
+                continue;
+            // Mitigative refresh also increments the victim's PRAC
+            // counter so transitive (Half-Double) attacks are tracked.
+            ActCount c = ++arr[static_cast<std::size_t>(victim)];
+            ++total_victims_;
+            if (victims)
+                victims[written] = {victim, c};
+            ++written;
+        }
+    }
+    if (reset_aggressor)
+        arr[static_cast<std::size_t>(row)] = 0;
+    ++total_mitigations_;
+    return written;
+}
+
+void
+PracCounters::reset(int bank, int row)
+{
+    bankArray(bank)[static_cast<std::size_t>(row)] = 0;
+}
+
+ActCount
+PracCounters::maxCount(int bank) const
+{
+    const auto& arr = bankArray(bank);
+    return *std::max_element(arr.begin(), arr.end());
+}
+
+int
+PracCounters::maxRow(int bank) const
+{
+    const auto& arr = bankArray(bank);
+    return static_cast<int>(
+        std::max_element(arr.begin(), arr.end()) - arr.begin());
+}
+
+} // namespace qprac::dram

@@ -1,0 +1,65 @@
+#include "dram/rank.h"
+
+#include <algorithm>
+
+namespace qprac::dram {
+
+RankTiming::RankTiming(const TimingParams& timing) : t_(timing)
+{
+}
+
+bool
+RankTiming::canAct(int bankgroup, Cycle now) const
+{
+    if (has_act_) {
+        int rrd = (bankgroup == last_act_bg_) ? t_.tRRD_L : t_.tRRD_S;
+        if (now < last_act_any_ + rrd)
+            return false;
+    }
+    if (act_window_.size() >= 4 && now < act_window_.front() + t_.tFAW)
+        return false;
+    return true;
+}
+
+void
+RankTiming::recordAct(int bankgroup, Cycle now)
+{
+    last_act_any_ = now;
+    last_act_bg_ = bankgroup;
+    has_act_ = true;
+    act_window_.push_back(now);
+    while (act_window_.size() > 4)
+        act_window_.pop_front();
+}
+
+bool
+RankTiming::canCas(int bankgroup, Cycle now) const
+{
+    if (!has_cas_)
+        return true;
+    int ccd = (bankgroup == last_cas_bg_) ? t_.tCCD_L : t_.tCCD_S;
+    return now >= last_cas_any_ + ccd;
+}
+
+void
+RankTiming::recordCas(int bankgroup, Cycle now)
+{
+    last_cas_any_ = now;
+    last_cas_bg_ = bankgroup;
+    has_cas_ = true;
+}
+
+Cycle
+RankTiming::nextActReady(int bankgroup) const
+{
+    Cycle ready = 0;
+    if (has_act_) {
+        int rrd = (bankgroup == last_act_bg_) ? t_.tRRD_L : t_.tRRD_S;
+        ready = std::max(ready, last_act_any_ + rrd);
+    }
+    if (act_window_.size() >= 4)
+        ready = std::max(ready, act_window_.front() + t_.tFAW);
+    return ready;
+}
+
+} // namespace qprac::dram

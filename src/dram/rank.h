@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Rank-level timing constraints: tRRD, tFAW, CAS-to-CAS spacing and the
+ * shared data bus.
+ */
+#ifndef QPRAC_DRAM_RANK_H
+#define QPRAC_DRAM_RANK_H
+
+#include <deque>
+
+#include "common/types.h"
+#include "dram/timing.h"
+
+namespace qprac::dram {
+
+/** Tracks constraints that span banks within one rank. */
+class RankTiming
+{
+  public:
+    explicit RankTiming(const TimingParams& timing);
+
+    /** Can an ACT be issued to @p bankgroup at @p now? */
+    bool canAct(int bankgroup, Cycle now) const;
+
+    /** Record an ACT to @p bankgroup at @p now. */
+    void recordAct(int bankgroup, Cycle now);
+
+    /** Can a CAS (RD/WR) be issued to @p bankgroup at @p now? */
+    bool canCas(int bankgroup, Cycle now) const;
+
+    /** Record a CAS to @p bankgroup at @p now. */
+    void recordCas(int bankgroup, Cycle now);
+
+    /** Earliest cycle an ACT could be accepted anywhere in this rank. */
+    Cycle nextActReady(int bankgroup) const;
+
+  private:
+    const TimingParams& t_;
+    Cycle last_act_any_ = 0;
+    bool has_act_ = false;
+    int last_act_bg_ = -1;
+    Cycle last_cas_any_ = 0;
+    bool has_cas_ = false;
+    int last_cas_bg_ = -1;
+    std::deque<Cycle> act_window_; ///< timestamps of recent ACTs (tFAW)
+};
+
+} // namespace qprac::dram
+
+#endif // QPRAC_DRAM_RANK_H

@@ -1,0 +1,46 @@
+#include "energy/energy_model.h"
+
+namespace qprac::energy {
+
+EnergyParams
+EnergyParams::ddr5()
+{
+    return {};
+}
+
+double
+EnergyBreakdown::overheadPctVs(const EnergyBreakdown& base) const
+{
+    double b = base.total();
+    if (b <= 0.0)
+        return 0.0;
+    return 100.0 * (total() - b) / b;
+}
+
+EnergyBreakdown
+computeEnergy(const StatSet& stats, const dram::Organization& org,
+              const dram::TimingParams& timing, const EnergyParams& p)
+{
+    EnergyBreakdown e;
+    e.act_nj = stats.getOr("dram.acts", 0) * p.e_act_nj;
+    e.rw_nj = stats.getOr("dram.reads", 0) * p.e_rd_nj +
+              stats.getOr("dram.writes", 0) * p.e_wr_nj;
+    // One REF command refreshes a segment in every bank of the rank.
+    e.refresh_nj = stats.getOr("dram.refs", 0) *
+                   static_cast<double>(org.banksPerRank()) *
+                   p.e_ref_bank_nj;
+    // Each mitigation cycles the aggressor row (reset) plus its
+    // blast-radius victims.
+    double mitigated_rows = stats.getOr("mit.rfm_mitigations", 0) +
+                            stats.getOr("mit.proactive_mitigations", 0) +
+                            stats.getOr("mit.victim_refreshes", 0);
+    e.mitigation_nj = mitigated_rows * p.e_mit_row_nj;
+    double ns = timing.cyclesToNs(
+        static_cast<Cycle>(stats.getOr("sim.cycles", 0)));
+    e.background_nj = p.p_background_mw * 1e-3 * ns; // mW * ns = 1e-12 J...
+    // p[mW] * t[ns] = 1e-3 W * 1e-9 s = 1e-12 J = 1e-3 nJ.
+    e.background_nj *= 1e-3;
+    return e;
+}
+
+} // namespace qprac::energy

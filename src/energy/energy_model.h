@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DRAM energy accounting (paper §VI-F, Table III and Fig 22).
+ *
+ * Per-operation energies are datasheet-scale estimates for a DDR5 32Gb
+ * device (documented below); what the paper reports — and what this
+ * model reproduces — is the *relative* overhead of mitigation-induced
+ * row cycles over the baseline's activate/read/write/refresh/background
+ * energy.
+ */
+#ifndef QPRAC_ENERGY_ENERGY_MODEL_H
+#define QPRAC_ENERGY_ENERGY_MODEL_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/address.h"
+#include "dram/timing.h"
+
+namespace qprac::energy {
+
+/** Per-operation energy constants. */
+struct EnergyParams
+{
+    double e_act_nj = 17.0;  ///< ACT+PRE row cycle
+    double e_rd_nj = 8.0;    ///< 64B read burst
+    double e_wr_nj = 8.5;    ///< 64B write burst
+    /** REF energy per bank per REF command (~16 rows per segment). */
+    double e_ref_bank_nj = 330.0;
+    /** Energy per row refreshed by mitigation logic (in-situ refresh). */
+    double e_mit_row_nj = 12.0;
+    /** Channel background power (active standby, both ranks). */
+    double p_background_mw = 350.0;
+
+    static EnergyParams ddr5();
+};
+
+/** Energy totals (nanojoules) for one simulation. */
+struct EnergyBreakdown
+{
+    double act_nj = 0.0;
+    double rw_nj = 0.0;
+    double refresh_nj = 0.0;
+    double mitigation_nj = 0.0;
+    double background_nj = 0.0;
+
+    double total() const
+    {
+        return act_nj + rw_nj + refresh_nj + mitigation_nj + background_nj;
+    }
+
+    /** Percent overhead of this run vs a baseline run. */
+    double overheadPctVs(const EnergyBreakdown& base) const;
+};
+
+/**
+ * Compute energy from exported simulation stats (needs the dram.* and,
+ * when a mitigation ran, mit.* stat groups).
+ */
+EnergyBreakdown computeEnergy(const StatSet& stats,
+                              const dram::Organization& org,
+                              const dram::TimingParams& timing,
+                              const EnergyParams& params =
+                                  EnergyParams::ddr5());
+
+} // namespace qprac::energy
+
+#endif // QPRAC_ENERGY_ENERGY_MODEL_H

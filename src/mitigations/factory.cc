@@ -1,0 +1,90 @@
+#include "mitigations/factory.h"
+
+#include "common/log.h"
+#include "core/qprac.h"
+#include "mitigations/mithril.h"
+#include "mitigations/moat.h"
+#include "mitigations/panopticon.h"
+#include "mitigations/pride.h"
+#include "mitigations/uprac.h"
+
+namespace qprac::dram {
+
+void
+MitigationStats::exportTo(StatSet& out, const std::string& prefix) const
+{
+    out.set(prefix + "alerts", static_cast<double>(alerts));
+    out.set(prefix + "rfm_mitigations", static_cast<double>(rfm_mitigations));
+    out.set(prefix + "proactive_mitigations",
+            static_cast<double>(proactive_mitigations));
+    out.set(prefix + "victim_refreshes",
+            static_cast<double>(victim_refreshes));
+    out.set(prefix + "psq_insertions", static_cast<double>(psq_insertions));
+    out.set(prefix + "psq_evictions", static_cast<double>(psq_evictions));
+    out.set(prefix + "psq_hits", static_cast<double>(psq_hits));
+    out.set(prefix + "dropped_mitigations",
+            static_cast<double>(dropped_mitigations));
+}
+
+} // namespace qprac::dram
+
+namespace qprac::mitigations {
+
+std::unique_ptr<dram::RowhammerMitigation>
+createMitigation(const std::string& name, int nbo, int nmit,
+                 dram::PracCounters* counters)
+{
+    using core::Qprac;
+    using core::QpracConfig;
+    if (name == "none")
+        return nullptr;
+    if (name == "qprac-noop")
+        return std::make_unique<Qprac>(QpracConfig::noOp(nbo, nmit),
+                                       counters);
+    if (name == "qprac")
+        return std::make_unique<Qprac>(QpracConfig::base(nbo, nmit),
+                                       counters);
+    if (name == "qprac+proactive")
+        return std::make_unique<Qprac>(
+            QpracConfig::proactiveEvery(nbo, nmit), counters);
+    if (name == "qprac+proactive-ea")
+        return std::make_unique<Qprac>(QpracConfig::proactiveEa(nbo, nmit),
+                                       counters);
+    if (name == "qprac-ideal")
+        return std::make_unique<Qprac>(QpracConfig::idealTopN(nbo, nmit),
+                                       counters);
+    if (name == "panopticon")
+        return std::make_unique<Panopticon>(PanopticonConfig::tbit(6, 4),
+                                            counters);
+    if (name == "panopticon-fullctr")
+        return std::make_unique<Panopticon>(
+            PanopticonConfig::fullCounter(nbo, 4), counters);
+    if (name == "uprac-fifo")
+        return std::make_unique<UpracFifo>(4, nbo, counters);
+    if (name == "moat")
+        return std::make_unique<Moat>(MoatConfig::forNbo(nbo), counters);
+    if (name == "pride")
+        return std::make_unique<Pride>(PrideConfig{}, counters);
+    if (name == "mithril")
+        return std::make_unique<Mithril>(MithrilConfig{}, counters);
+    fatal(strCat("unknown mitigation '", name, "'"));
+}
+
+std::vector<std::string>
+mitigationNames()
+{
+    return {"none",
+            "qprac-noop",
+            "qprac",
+            "qprac+proactive",
+            "qprac+proactive-ea",
+            "qprac-ideal",
+            "panopticon",
+            "panopticon-fullctr",
+            "uprac-fifo",
+            "moat",
+            "pride",
+            "mithril"};
+}
+
+} // namespace qprac::mitigations

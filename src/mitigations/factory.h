@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Factory for constructing mitigations by name — the entry point for
+ * examples and benches that sweep over designs.
+ */
+#ifndef QPRAC_MITIGATIONS_FACTORY_H
+#define QPRAC_MITIGATIONS_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/mitigation_iface.h"
+
+namespace qprac::dram {
+class PracCounters;
+} // namespace qprac::dram
+
+namespace qprac::mitigations {
+
+/**
+ * Create a mitigation by name. Recognized names:
+ *  "none", "qprac-noop", "qprac", "qprac+proactive", "qprac+proactive-ea",
+ *  "qprac-ideal", "panopticon", "panopticon-fullctr", "uprac-fifo",
+ *  "moat", "pride", "mithril".
+ *
+ * @param nbo back-off / alert threshold (for threshold-based designs)
+ * @param nmit RFMs per alert (QPRAC PSQ sizing)
+ * @return nullptr for "none"; fatal() on unknown names.
+ */
+std::unique_ptr<dram::RowhammerMitigation>
+createMitigation(const std::string& name, int nbo, int nmit,
+                 dram::PracCounters* counters);
+
+/** All names createMitigation() accepts (for help text and tests). */
+std::vector<std::string> mitigationNames();
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_FACTORY_H

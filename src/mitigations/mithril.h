@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Mithril (Kim et al., HPCA 2022) — Misra-Gries-summary-based in-DRAM
+ * tracker cooperating with controller-issued RFMs; comparison point in
+ * Fig 20 and Table IV.
+ *
+ * The summary uses the Graphene-style spillover counter: a hit
+ * increments the entry; a miss replaces a minimum-count entry when its
+ * count equals the spillover, otherwise increments the spillover. RFM
+ * and REF mitigate the maximum-count entry, resetting it to the
+ * spillover value.
+ */
+#ifndef QPRAC_MITIGATIONS_MITHRIL_H
+#define QPRAC_MITIGATIONS_MITHRIL_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/mitigation_iface.h"
+
+namespace qprac::dram {
+class PracCounters;
+} // namespace qprac::dram
+
+namespace qprac::mitigations {
+
+/** Mithril configuration. */
+struct MithrilConfig
+{
+    /**
+     * Tracker entries per bank. The real design sizes this from TRH
+     * (~5300 entries at low TRH, Table IV); for timing studies the
+     * entry count does not affect RFM scheduling, so simulations may
+     * use a smaller table.
+     */
+    int entries = 512;
+
+    static MithrilConfig forTrh(int trh, int acts_per_trefw = 550000);
+};
+
+/** Misra-Gries (spillover variant) aggressor tracker. */
+class Mithril : public dram::RowhammerMitigation
+{
+  public:
+    Mithril(const MithrilConfig& config, dram::PracCounters* counters);
+
+    void onActivate(int flat_bank, int row, ActCount count,
+                    Cycle cycle) override;
+    bool wantsAlert() const override { return false; }
+    void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
+               Cycle cycle) override;
+    void onRefresh(int flat_bank, Cycle cycle) override;
+    int alertingBank() const override { return -1; }
+    const dram::MitigationStats& stats() const override { return stats_; }
+    std::string name() const override { return "Mithril"; }
+
+    /** Estimated count for a row (Misra-Gries lower bound), tests only. */
+    long trackedCount(int flat_bank, int row) const;
+
+  private:
+    struct BankTable
+    {
+        std::unordered_map<int, long> counts; ///< row -> estimated count
+        long spillover = 0;
+    };
+
+    void mitigateMax(int bank, bool proactive);
+
+    MithrilConfig config_;
+    dram::PracCounters* counters_;
+    std::vector<BankTable> tables_;
+    dram::MitigationStats stats_;
+};
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_MITHRIL_H

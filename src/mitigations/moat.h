@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MOAT (Qureshi & Qazi, ASPLOS 2025) — concurrent PRAC mitigation used
+ * as the comparison point in paper §VII-A (Figs 21-22).
+ *
+ * MOAT keeps a single-entry queue per bank with a dual-threshold design:
+ * rows enter the entry once their PRAC count reaches the enqueue
+ * threshold ETH (= NBO/2 in the paper's comparison) and the entry always
+ * holds the highest-count row seen since the last mitigation; the alert
+ * threshold ATH (= NBO) triggers the ABO flow.
+ */
+#ifndef QPRAC_MITIGATIONS_MOAT_H
+#define QPRAC_MITIGATIONS_MOAT_H
+
+#include <string>
+#include <vector>
+
+#include "dram/mitigation_iface.h"
+
+namespace qprac::dram {
+class PracCounters;
+} // namespace qprac::dram
+
+namespace qprac::mitigations {
+
+/** MOAT configuration. */
+struct MoatConfig
+{
+    int eth = 16; ///< enqueue threshold (paper comparison: NBO/2)
+    int ath = 32; ///< alert threshold (NBO)
+    int proactive_period_refs = 0; ///< 0 = no proactive mitigation
+
+    static MoatConfig forNbo(int nbo, int proactive_period_refs = 0);
+};
+
+/** Single-entry-queue PRAC mitigation. */
+class Moat : public dram::RowhammerMitigation
+{
+  public:
+    Moat(const MoatConfig& config, dram::PracCounters* counters);
+
+    void onActivate(int flat_bank, int row, ActCount count,
+                    Cycle cycle) override;
+    bool wantsAlert() const override;
+    void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
+               Cycle cycle) override;
+    void onRefresh(int flat_bank, Cycle cycle) override;
+    int alertingBank() const override;
+    const dram::MitigationStats& stats() const override { return stats_; }
+    std::string name() const override { return "MOAT"; }
+
+    /** The tracked entry of one bank (kNoRow when empty). */
+    int trackedRow(int flat_bank) const;
+    ActCount trackedCount(int flat_bank) const;
+
+  private:
+    struct Entry
+    {
+        int row = kNoRow;
+        ActCount count = 0;
+    };
+
+    bool mitigateEntry(int bank, bool proactive);
+    void updateAlertFlag(int bank);
+
+    MoatConfig config_;
+    dram::PracCounters* counters_;
+    std::vector<Entry> entries_;
+    std::vector<char> over_;
+    std::vector<int> refs_seen_;
+    int num_over_ = 0;
+    dram::MitigationStats stats_;
+};
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_MOAT_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Panopticon-style PRAC implementation with a FIFO service queue
+ * (paper §II-E1) — deliberately reproduces the published vulnerabilities.
+ *
+ * Two counter-comparison modes:
+ *  - t-bit mode: a row is selected for mitigation only when its counter
+ *    crosses a multiple of the threshold M = 2^t (the "threshold bit"
+ *    toggles). If the FIFO is full at that instant the event is LOST and
+ *    the row cannot re-enter until 2^t further activations
+ *    (Toggle+Forget attack, Fig 2).
+ *  - full-counter mode: the counter value is compared against the
+ *    threshold on every ACT, so a bypassed row retries on each ACT —
+ *    still insecure when hammered purely with ABO_ACT activations while
+ *    the FIFO is full (Fill+Escape attack, Fig 3).
+ *
+ * Appendix A's variant (ABO_ACT activations blocked from toggling the
+ * t-bit) is modeled via setAboWindowActive(), driven by the harness.
+ */
+#ifndef QPRAC_MITIGATIONS_PANOPTICON_H
+#define QPRAC_MITIGATIONS_PANOPTICON_H
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dram/mitigation_iface.h"
+
+namespace qprac::dram {
+class PracCounters;
+} // namespace qprac::dram
+
+namespace qprac::mitigations {
+
+/** Configuration of the Panopticon model. */
+struct PanopticonConfig
+{
+    int queue_size = 4;      ///< FIFO service-queue entries per bank
+    int threshold = 64;      ///< mitigation threshold M (2^t in t-bit mode)
+    bool full_counter_compare = false; ///< false = t-bit toggling mode
+    bool block_abo_toggle = false;     ///< Appendix A variant
+
+    static PanopticonConfig tbit(int t, int queue_size);
+    static PanopticonConfig fullCounter(int threshold, int queue_size);
+};
+
+/** FIFO-service-queue PRAC implementation (insecure baseline). */
+class Panopticon : public dram::RowhammerMitigation
+{
+  public:
+    Panopticon(const PanopticonConfig& config,
+               dram::PracCounters* counters);
+
+    void onActivate(int flat_bank, int row, ActCount count,
+                    Cycle cycle) override;
+    bool wantsAlert() const override;
+    void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
+               Cycle cycle) override;
+    void onRefresh(int flat_bank, Cycle cycle) override;
+    int alertingBank() const override;
+    const dram::MitigationStats& stats() const override { return stats_; }
+    std::string name() const override;
+
+    /** Harness hook for the Appendix A (blocked-toggle) variant. */
+    void setAboWindowActive(bool active) { abo_window_active_ = active; }
+
+    int queueSize(int flat_bank) const;
+    bool queueFull(int flat_bank) const;
+    bool queueContains(int flat_bank, int row) const;
+
+  private:
+    struct BankQueue
+    {
+        std::deque<int> fifo;
+        std::unordered_set<int> members;
+    };
+
+    void tryEnqueue(int bank, int row);
+    void mitigateFront(int bank, bool proactive);
+
+    PanopticonConfig config_;
+    dram::PracCounters* counters_;
+    std::vector<BankQueue> queues_;
+    bool abo_window_active_ = false;
+    dram::MitigationStats stats_;
+};
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_PANOPTICON_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PrIDE (Jaleel et al., ISCA 2024) — probabilistic in-DRAM tracker used
+ * as a comparison point in Fig 20.
+ *
+ * PrIDE samples activations with probability 1/sample_period into a
+ * small per-bank FIFO; mitigations are issued from the FIFO head during
+ * controller-scheduled RFMs and in the shadow of REF. PrIDE has no ABO
+ * alert; its security comes from the RFM rate the controller maintains
+ * (see mitigations/rfm_policy.h).
+ */
+#ifndef QPRAC_MITIGATIONS_PRIDE_H
+#define QPRAC_MITIGATIONS_PRIDE_H
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/mitigation_iface.h"
+
+namespace qprac::dram {
+class PracCounters;
+} // namespace qprac::dram
+
+namespace qprac::mitigations {
+
+/** PrIDE configuration (paper defaults: 4-entry FIFO, p = 1/16). */
+struct PrideConfig
+{
+    int queue_size = 4;
+    int sample_period = 16;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** Probabilistic FIFO tracker. */
+class Pride : public dram::RowhammerMitigation
+{
+  public:
+    Pride(const PrideConfig& config, dram::PracCounters* counters);
+
+    void onActivate(int flat_bank, int row, ActCount count,
+                    Cycle cycle) override;
+    bool wantsAlert() const override { return false; }
+    void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
+               Cycle cycle) override;
+    void onRefresh(int flat_bank, Cycle cycle) override;
+    int alertingBank() const override { return -1; }
+    const dram::MitigationStats& stats() const override { return stats_; }
+    std::string name() const override { return "PrIDE"; }
+
+  private:
+    void mitigateFront(int bank, bool proactive);
+
+    PrideConfig config_;
+    dram::PracCounters* counters_;
+    std::vector<std::deque<int>> queues_;
+    Rng rng_;
+    dram::MitigationStats stats_;
+};
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_PRIDE_H

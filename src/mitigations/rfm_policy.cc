@@ -1,0 +1,33 @@
+#include "mitigations/rfm_policy.h"
+
+#include <algorithm>
+
+namespace qprac::mitigations {
+
+RfmPolicy
+RfmPolicy::none()
+{
+    return {};
+}
+
+RfmPolicy
+RfmPolicy::forPride(int trh)
+{
+    RfmPolicy p;
+    p.acts_per_rfm = std::max(1, trh / 25);
+    p.scope = dram::RfmScope::PerBank;
+    p.per_bank = true;
+    return p;
+}
+
+RfmPolicy
+RfmPolicy::forMithril(int trh)
+{
+    RfmPolicy p;
+    p.acts_per_rfm = std::max(1, trh / 32);
+    p.scope = dram::RfmScope::PerBank;
+    p.per_bank = true;
+    return p;
+}
+
+} // namespace qprac::mitigations

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Controller-side RFM scheduling policies for RFM-paced mitigations
+ * (Mithril, PrIDE). QPRAC does not need these: it is paced by the ABO
+ * protocol instead.
+ *
+ * The mitigation interval (ACTs per RFM) is derived from each scheme's
+ * published security analysis and scales linearly with TRH:
+ *  - PrIDE: secure at TRH 1700 with 1 mitigation/tREFI (~67 ACTs) and
+ *    needs 1 RFM per 10 ACTs at TRH 250 (paper §II-C2) -> TRH/25.
+ *  - Mithril: Misra-Gries bound with its CAM budget requires a denser
+ *    pace -> TRH/32 (calibrated so Mithril trails PrIDE as in Fig 20).
+ */
+#ifndef QPRAC_MITIGATIONS_RFM_POLICY_H
+#define QPRAC_MITIGATIONS_RFM_POLICY_H
+
+#include "dram/mitigation_iface.h"
+
+namespace qprac::mitigations {
+
+/** Periodic RFM issue policy. */
+struct RfmPolicy
+{
+    /** Issue one RFM every this many ACTs; 0 disables the policy. */
+    int acts_per_rfm = 0;
+    dram::RfmScope scope = dram::RfmScope::AllBank;
+    /**
+     * DDR5 RAA semantics: each bank counts its own activations and an
+     * RFM covering only that bank is issued when its counter trips —
+     * other banks keep operating. false = channel-aggregate pacing with
+     * a full quiesce (the conservative all-bank variant).
+     */
+    bool per_bank = true;
+
+    bool enabled() const { return acts_per_rfm > 0; }
+
+    static RfmPolicy none();
+    static RfmPolicy forPride(int trh);
+    static RfmPolicy forMithril(int trh);
+};
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_RFM_POLICY_H

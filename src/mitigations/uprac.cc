@@ -1,0 +1,61 @@
+#include "mitigations/uprac.h"
+
+namespace qprac::mitigations {
+
+UpracFifo::UpracFifo(int queue_size, int enqueue_threshold,
+                     dram::PracCounters* counters)
+    : impl_(PanopticonConfig::fullCounter(enqueue_threshold, queue_size),
+            counters)
+{
+}
+
+void
+UpracFifo::onActivate(int flat_bank, int row, ActCount count, Cycle cycle)
+{
+    impl_.onActivate(flat_bank, row, count, cycle);
+}
+
+bool
+UpracFifo::wantsAlert() const
+{
+    return impl_.wantsAlert();
+}
+
+void
+UpracFifo::onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
+                 Cycle cycle)
+{
+    impl_.onRfm(flat_bank, scope, alerting_bank, cycle);
+}
+
+void
+UpracFifo::onRefresh(int flat_bank, Cycle cycle)
+{
+    impl_.onRefresh(flat_bank, cycle);
+}
+
+int
+UpracFifo::alertingBank() const
+{
+    return impl_.alertingBank();
+}
+
+const dram::MitigationStats&
+UpracFifo::stats() const
+{
+    return impl_.stats();
+}
+
+bool
+UpracFifo::queueFull(int flat_bank) const
+{
+    return impl_.queueFull(flat_bank);
+}
+
+bool
+UpracFifo::queueContains(int flat_bank, int row) const
+{
+    return impl_.queueContains(flat_bank, row);
+}
+
+} // namespace qprac::mitigations

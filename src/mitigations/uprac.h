@@ -1,0 +1,51 @@
+/**
+ * @file
+ * UPRAC variants (paper §II-E2).
+ *
+ * The "pure" UPRAC (no service queue, oracular top-N on each alert) is
+ * impractical in hardware; its behaviour is provided by QPRAC-Ideal
+ * (core/qprac.h with ideal = true). This file models the *practical*
+ * UPRAC variant the paper analyzes: a FIFO service queue with an enqueue
+ * threshold below NBO — which inherits the Fill+Escape vulnerability.
+ */
+#ifndef QPRAC_MITIGATIONS_UPRAC_H
+#define QPRAC_MITIGATIONS_UPRAC_H
+
+#include <memory>
+#include <string>
+
+#include "mitigations/panopticon.h"
+
+namespace qprac::mitigations {
+
+/** UPRAC with a FIFO service queue (insecure below TRH ~1280). */
+class UpracFifo : public dram::RowhammerMitigation
+{
+  public:
+    /**
+     * @param enqueue_threshold count at which a row is queued (paper
+     *        suggests a value below NBO; Fill+Escape analysis uses NBO)
+     */
+    UpracFifo(int queue_size, int enqueue_threshold,
+              dram::PracCounters* counters);
+
+    void onActivate(int flat_bank, int row, ActCount count,
+                    Cycle cycle) override;
+    bool wantsAlert() const override;
+    void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
+               Cycle cycle) override;
+    void onRefresh(int flat_bank, Cycle cycle) override;
+    int alertingBank() const override;
+    const dram::MitigationStats& stats() const override;
+    std::string name() const override { return "UPRAC-FIFO"; }
+
+    bool queueFull(int flat_bank) const;
+    bool queueContains(int flat_bank, int row) const;
+
+  private:
+    Panopticon impl_; ///< full-counter FIFO semantics are identical
+};
+
+} // namespace qprac::mitigations
+
+#endif // QPRAC_MITIGATIONS_UPRAC_H

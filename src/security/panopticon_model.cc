@@ -1,0 +1,46 @@
+#include "security/panopticon_model.h"
+
+#include <algorithm>
+
+namespace qprac::security {
+
+long
+toggleForgetBound(int queue_size, int tbit, long act_budget)
+{
+    const long m = 1L << tbit;
+    // Per iteration: every row of the (Q+1)-row pool is rebuilt to the
+    // next multiple of M (M ACTs each, amortized), the Q fillers toggle
+    // and fill the queue, and the target lands M activations (M-2 in
+    // the build plus 2 under ABO_ACT). Setup costs one extra (M-1) ramp.
+    const long per_iteration = (queue_size + 1) * m;
+    const long target_per_iteration = m;
+    long iterations = std::max(0L, act_budget - (queue_size + 1) * (m - 1)) /
+                      per_iteration;
+    return m - 1 + iterations * target_per_iteration;
+}
+
+long
+fillEscapeBound(int queue_size, int threshold, int nmit, long act_budget)
+{
+    const long m = threshold;
+    // Setup: target plus Q fillers ramped to M-1.
+    const long setup = (queue_size + 1) * (m - 1);
+    // Each alert cycle: nmit RFM pops + 1 REF-shadow pop drain the FIFO;
+    // refilling costs M ACTs per popped entry; yield is 3 ABO_ACTs.
+    const long refill = static_cast<long>(nmit + 1) * m;
+    long iterations = std::max(0L, act_budget - setup) / (refill + 3);
+    return (m - 1) + 3 * iterations;
+}
+
+long
+blockingTbitBound(int queue_size, int tbit, int nmit, long act_budget)
+{
+    const long m = 1L << tbit;
+    const long setup = (queue_size + 1) * (m - 1);
+    // Only the RFM pops drain the queue; each refill toggle costs M.
+    const long refill = static_cast<long>(nmit) * m;
+    long iterations = std::max(0L, act_budget - setup) / (refill + 3);
+    return (m - 1) + 3 * iterations;
+}
+
+} // namespace qprac::security

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Closed-form models of the Panopticon/UPRAC attacks (paper §II-E),
+ * used to cross-check the event-level simulators in src/attacks and to
+ * extrapolate the figures to parameter ranges that are slow to
+ * simulate.
+ *
+ * Derivations (all per one tREFW ACT budget B ~ 550K):
+ *  - Toggle+Forget: each iteration spends ~(Q+1) ACT slots per target
+ *    ACT (the whole pool is rebuilt to the next multiple of M while the
+ *    target collects M activations), so the target accrues ~B/(Q+1).
+ *  - Fill+Escape: each alert cycle drains nmit+1 FIFO entries whose
+ *    refill costs M ACTs each and yields 3 ABO_ACT target activations,
+ *    plus the initial M-1 ramp.
+ *  - Blocking-t-bit: as Fill+Escape but only the nmit RFM pops drain
+ *    the queue and the refill is M ACTs per pop.
+ */
+#ifndef QPRAC_SECURITY_PANOPTICON_MODEL_H
+#define QPRAC_SECURITY_PANOPTICON_MODEL_H
+
+namespace qprac::security {
+
+/** Closed-form target ACT count for the Toggle+Forget attack (Fig 2). */
+long toggleForgetBound(int queue_size, int tbit, long act_budget = 550'000);
+
+/** Closed-form target ACT count for Fill+Escape (Fig 3). */
+long fillEscapeBound(int queue_size, int threshold, int nmit = 4,
+                     long act_budget = 550'000);
+
+/** Closed-form target ACT count for the blocking-t-bit variant (Fig 23). */
+long blockingTbitBound(int queue_size, int tbit, int nmit = 1,
+                       long act_budget = 550'000);
+
+} // namespace qprac::security
+
+#endif // QPRAC_SECURITY_PANOPTICON_MODEL_H

@@ -1,0 +1,155 @@
+#include "security/prac_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace qprac::security {
+
+PracModelConfig
+PracModelConfig::prac(int nmit)
+{
+    PracModelConfig c;
+    c.nmit = nmit;
+    return c;
+}
+
+PracModelConfig
+PracModelConfig::qpracProactive(int nmit)
+{
+    PracModelConfig c;
+    c.nmit = nmit;
+    c.proactive = true;
+    return c;
+}
+
+PracModelConfig
+PracModelConfig::qpracProactiveEa(int nmit, int nbo, int npro)
+{
+    PracModelConfig c;
+    c.nmit = nmit;
+    c.proactive = true;
+    // EA proactive mitigations only fire once the hottest tracked row
+    // reaches NPRO; during the attacker's setup phase that holds for the
+    // (1 - NPRO/NBO) tail of each row's ramp to NBO-1.
+    c.setup_proactive_frac =
+        std::clamp(1.0 - static_cast<double>(npro) / nbo, 0.0, 1.0);
+    return c;
+}
+
+PracSecurityModel::PracSecurityModel(const PracModelConfig& config)
+    : cfg_(config)
+{
+    QP_ASSERT(cfg_.nmit >= 1 && cfg_.abo_act >= 0, "invalid model config");
+}
+
+OnlinePhaseResult
+PracSecurityModel::onlinePhase(long r1) const
+{
+    OnlinePhaseResult res;
+    const int br = cfg_.blast_radius;
+    const int denom = cfg_.abo_act + cfg_.aboDelay();
+    double pool = static_cast<double>(r1);
+
+    // Paper Eq. 3: R_N = R_{N-1} - floor(Nmit*(R_{N-1}-BR)/denom)
+    // [- proactive mitigations]. The recursion ends when the floor can
+    // no longer shrink the pool — the attacker then focuses on the
+    // survivor, captured by the additive terms of Eq. 2.
+    while (pool > 1 && res.rounds < 5'000'000) {
+        double active = std::max(0.0, pool - br); // BR acts are free
+        double alerts = active / denom;
+        double round_time = active * cfg_.t_act_ns +
+                            alerts * cfg_.nmit * cfg_.t_rfm_ns;
+        double mitigated =
+            std::floor(active * cfg_.nmit / denom);
+        long proactive_extra = 0;
+        if (cfg_.proactive) {
+            proactive_extra =
+                static_cast<long>(round_time / cfg_.trefi_ns);
+            res.proactive_mitigations += proactive_extra;
+        }
+
+        res.total_acts += static_cast<long>(active);
+        res.alerts += static_cast<long>(alerts);
+        res.time_ns += round_time;
+        ++res.rounds;
+        if (mitigated + static_cast<double>(proactive_extra) <= 0)
+            break; // pool can no longer shrink (Eq. 3 fixpoint)
+        pool -= mitigated + static_cast<double>(proactive_extra);
+    }
+    res.n_online = static_cast<int>(res.rounds) + cfg_.abo_act +
+                   cfg_.aboDelay() + br;
+    return res;
+}
+
+int
+PracSecurityModel::nOnline(long r1) const
+{
+    return onlinePhase(r1).n_online;
+}
+
+double
+PracSecurityModel::setupTimeNs(long r1, int nbo) const
+{
+    return static_cast<double>(r1) * std::max(0, nbo - 1) * cfg_.t_act_ns;
+}
+
+long
+PracSecurityModel::effectivePool(long raw_r1, int nbo) const
+{
+    if (!cfg_.proactive)
+        return raw_r1;
+    // One proactive mitigation per REF removes one in-setup row; with
+    // the EA variant only a fraction of those REFs have an armed entry.
+    double setup_acts =
+        static_cast<double>(raw_r1) * std::max(0, nbo - 1);
+    double mitigations =
+        setup_acts / cfg_.actsPerTrefi() * cfg_.setup_proactive_frac;
+    long eff = raw_r1 - static_cast<long>(mitigations);
+    return std::max<long>(eff, 0);
+}
+
+long
+PracSecurityModel::maxR1(int nbo) const
+{
+    const double budget_ns = cfg_.trefw_ms * 1e6;
+    auto feasible = [&](long raw) {
+        long eff = effectivePool(raw, nbo);
+        double t = setupTimeNs(raw, nbo) + onlinePhase(eff).time_ns;
+        return t <= budget_ns;
+    };
+    long lo = 0;
+    long hi = cfg_.total_rows;
+    if (feasible(hi))
+        return effectivePool(hi, nbo);
+    while (lo < hi) {
+        long mid = lo + (hi - lo + 1) / 2;
+        if (feasible(mid))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return effectivePool(lo, nbo);
+}
+
+int
+PracSecurityModel::secureTrh(int nbo) const
+{
+    long r1 = maxR1(nbo);
+    if (r1 <= 0)
+        return nbo; // proactive mitigation fully defeats the setup phase
+    return nbo + nOnline(r1);
+}
+
+int
+PracSecurityModel::maxNboForTrh(int trh) const
+{
+    int best = 0;
+    for (int nbo = 1; nbo <= trh; ++nbo)
+        if (secureTrh(nbo) <= trh)
+            best = nbo;
+    return best;
+}
+
+} // namespace qprac::security

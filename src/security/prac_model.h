@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Analytical security model of PRAC/QPRAC under the Wave (Feinting)
+ * attack (paper §IV, Equations 1-3), including the proactive-mitigation
+ * extensions (§IV-C) and the energy-aware variant.
+ *
+ * The model reproduces Figs 6-8 and 11-13:
+ *  - online-phase recursion: R_N = R_{N-1} -
+ *      floor(Nmit * (R_{N-1} - BR) / (ABO_ACT + ABO_Delay)) [- proactive]
+ *  - N_online = rounds + ABO_ACT + ABO_Delay + BR          (Eq. 2)
+ *  - TRH_secure = NBO + N_online(maxR1(NBO))               (Eq. 1)
+ *  - R1 is bounded by Setup + Online time <= tREFW.
+ */
+#ifndef QPRAC_SECURITY_PRAC_MODEL_H
+#define QPRAC_SECURITY_PRAC_MODEL_H
+
+#include <cstdint>
+
+namespace qprac::security {
+
+/** Parameters of the analytical model (paper defaults). */
+struct PracModelConfig
+{
+    int nmit = 1;        ///< RFMs (mitigations) per alert: PRAC-1/2/4
+    int abo_act = 3;     ///< ACTs the host may issue post-alert
+    int abo_delay = -1;  ///< min ACTs between alerts (-1 = nmit)
+    int blast_radius = 2;
+    long total_rows = 128 * 1024;
+
+    double trefw_ms = 32.0;
+    double t_act_ns = 58.2;  ///< effective ACT period incl. REF overhead
+                             ///< (32ms / ~550K ACTs, paper §V)
+    double t_rfm_ns = 350.0; ///< tRFMab
+    double trefi_ns = 3900.0;
+
+    bool proactive = false;         ///< mitigation on every REF (§IV-C)
+    double setup_proactive_frac = 1.0; ///< EA variant: fraction of setup
+                                       ///< REFs whose mitigation fires
+
+    int aboDelay() const { return abo_delay < 0 ? nmit : abo_delay; }
+
+    /** ACTs per tREFI (the paper's 67). */
+    double actsPerTrefi() const { return trefi_ns / t_act_ns; }
+
+    static PracModelConfig prac(int nmit);           ///< Figs 6-8
+    static PracModelConfig qpracProactive(int nmit); ///< Figs 11-13
+    static PracModelConfig qpracProactiveEa(int nmit, int nbo, int npro);
+};
+
+/** Outcome of the online-phase recursion for a given starting pool. */
+struct OnlinePhaseResult
+{
+    long rounds = 0;
+    long total_acts = 0;
+    long alerts = 0;
+    long proactive_mitigations = 0;
+    double time_ns = 0.0;
+    int n_online = 0; ///< Eq. 2
+};
+
+/** Wave/Feinting-attack security model. */
+class PracSecurityModel
+{
+  public:
+    explicit PracSecurityModel(const PracModelConfig& config);
+
+    /** Run the Eq.-3 recursion from a starting pool of @p r1 rows. */
+    OnlinePhaseResult onlinePhase(long r1) const;
+
+    /** N_online for a given pool (Fig 6 / Fig 12 series). */
+    int nOnline(long r1) const;
+
+    /** Time to bring @p r1 rows to NBO-1 activations. */
+    double setupTimeNs(long r1, int nbo) const;
+
+    /**
+     * Largest *effective* starting pool feasible within tREFW at @p nbo
+     * (Fig 7 / Fig 11 series). With proactive mitigation the effective
+     * pool shrinks by one row per (surviving) REF in the setup phase and
+     * can reach zero — the attack is then fully defeated.
+     */
+    long maxR1(int nbo) const;
+
+    /** Minimum TRH the defense is secure for at @p nbo (Fig 8 / 13). */
+    int secureTrh(int nbo) const;
+
+    /**
+     * Largest NBO whose secure TRH is <= @p trh (used to configure
+     * QPRAC for a target threshold, e.g. Fig 20); 0 if impossible.
+     */
+    int maxNboForTrh(int trh) const;
+
+    const PracModelConfig& config() const { return cfg_; }
+
+  private:
+    long effectivePool(long raw_r1, int nbo) const;
+
+    PracModelConfig cfg_;
+};
+
+} // namespace qprac::security
+
+#endif // QPRAC_SECURITY_PRAC_MODEL_H

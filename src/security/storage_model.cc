@@ -1,0 +1,66 @@
+#include "security/storage_model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace qprac::security {
+
+namespace {
+
+/** Linear 1/TRH extrapolation anchored at the published TRH=4K size. */
+double
+scaleFrom4k(double bytes_at_4k, int trh)
+{
+    QP_ASSERT(trh > 0, "TRH must be positive");
+    return bytes_at_4k * 4000.0 / static_cast<double>(trh);
+}
+
+} // namespace
+
+int
+pracCounterBits(int trh)
+{
+    int bits = static_cast<int>(std::floor(std::log2(trh))) + 1;
+    return std::max(6, bits);
+}
+
+double
+qpracPsqBytes(int psq_size, int rows_per_bank, int trh)
+{
+    int row_bits =
+        static_cast<int>(std::ceil(std::log2(rows_per_bank)));
+    int ctr_bits = pracCounterBits(trh);
+    return static_cast<double>(psq_size * (row_bits + ctr_bits)) / 8.0;
+}
+
+double
+misraGriesBytes(int trh)
+{
+    return scaleFrom4k(42.5 * 1024.0, trh);
+}
+
+double
+twiceBytes(int trh)
+{
+    return scaleFrom4k(300.0 * 1024.0, trh);
+}
+
+double
+catBytes(int trh)
+{
+    return scaleFrom4k(196.0 * 1024.0, trh);
+}
+
+std::vector<TrackerStorage>
+storageTable(int trh)
+{
+    return {
+        {"Misra-Gries", misraGriesBytes(trh)},
+        {"TWiCe", twiceBytes(trh)},
+        {"CAT", catBytes(trh)},
+        {"QPRAC", qpracPsqBytes(5, 128 * 1024, trh)},
+    };
+}
+
+} // namespace qprac::security

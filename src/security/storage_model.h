@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-bank SRAM storage model for in-DRAM trackers (paper Table IV) and
+ * QPRAC's structure sizing (§III-E).
+ */
+#ifndef QPRAC_SECURITY_STORAGE_MODEL_H
+#define QPRAC_SECURITY_STORAGE_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace qprac::security {
+
+/** Storage of one tracker at one threshold. */
+struct TrackerStorage
+{
+    std::string name;
+    double bytes_per_bank = 0.0;
+};
+
+/**
+ * PRAC counter width per row (paper §III-E): enough bits to hold the
+ * maximum possible count before mitigation, at least 6 bits. The paper
+ * uses 7-bit counters for TRH = 66.
+ */
+int pracCounterBits(int trh);
+
+/** QPRAC PSQ bytes per bank: psq_size x (rowid + counter) bits. */
+double qpracPsqBytes(int psq_size, int rows_per_bank, int trh);
+
+/**
+ * Published per-bank sizes at TRH = 4K for Misra-Gries summaries
+ * (Graphene/Mithril), TWiCe and CAT, linearly extrapolated in 1/TRH as
+ * Table IV does (entry count scales with activations/threshold).
+ */
+double misraGriesBytes(int trh);
+double twiceBytes(int trh);
+double catBytes(int trh);
+
+/** The full Table IV row set at a given TRH. */
+std::vector<TrackerStorage> storageTable(int trh);
+
+} // namespace qprac::security
+
+#endif // QPRAC_SECURITY_STORAGE_MODEL_H

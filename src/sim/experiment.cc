@@ -1,0 +1,224 @@
+#include "sim/experiment.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <thread>
+
+#include "common/log.h"
+#include "mitigations/mithril.h"
+#include "mitigations/pride.h"
+
+namespace qprac::sim {
+
+DesignSpec
+DesignSpec::qprac(const core::QpracConfig& config, dram::RfmScope scope)
+{
+    DesignSpec d;
+    d.label = config.label();
+    d.abo.enabled = true;
+    d.abo.nmit = config.nmit;
+    d.abo.scope = scope;
+    d.factory = [config](dram::PracCounters* counters) {
+        return std::make_unique<core::Qprac>(config, counters);
+    };
+    return d;
+}
+
+DesignSpec
+DesignSpec::moat(const mitigations::MoatConfig& config)
+{
+    DesignSpec d;
+    d.label = "MOAT";
+    d.abo.enabled = true;
+    d.abo.nmit = 1;
+    d.factory = [config](dram::PracCounters* counters) {
+        return std::make_unique<mitigations::Moat>(config, counters);
+    };
+    return d;
+}
+
+DesignSpec
+DesignSpec::pride(int trh)
+{
+    DesignSpec d;
+    d.label = "PrIDE";
+    d.timing = dram::TimingParams::ddr5NoPrac();
+    d.baseline_key = "noprac";
+    d.abo.enabled = false;
+    d.rfm_policy = mitigations::RfmPolicy::forPride(trh);
+    d.factory = [](dram::PracCounters* counters) {
+        return std::make_unique<mitigations::Pride>(
+            mitigations::PrideConfig{}, counters);
+    };
+    return d;
+}
+
+DesignSpec
+DesignSpec::mithril(int trh)
+{
+    DesignSpec d;
+    d.label = "Mithril";
+    d.timing = dram::TimingParams::ddr5NoPrac();
+    d.baseline_key = "noprac";
+    d.abo.enabled = false;
+    d.rfm_policy = mitigations::RfmPolicy::forMithril(trh);
+    d.factory = [trh](dram::PracCounters* counters) {
+        // Cap tracker size: entry count does not affect RFM pacing.
+        auto cfg = mitigations::MithrilConfig::forTrh(trh);
+        cfg.entries = std::min(cfg.entries, 512);
+        return std::make_unique<mitigations::Mithril>(cfg, counters);
+    };
+    return d;
+}
+
+std::uint64_t
+ExperimentConfig::defaultInstsPerCore()
+{
+    if (const char* env = std::getenv("QPRAC_INSTS"))
+        return static_cast<std::uint64_t>(std::atoll(env));
+    return 300'000;
+}
+
+std::uint64_t
+ExperimentConfig::defaultLlcMb()
+{
+    if (const char* env = std::getenv("QPRAC_LLC_MB"))
+        return static_cast<std::uint64_t>(std::max(1, std::atoi(env)));
+    return 2;
+}
+
+int
+ExperimentConfig::defaultThreads()
+{
+    if (const char* env = std::getenv("QPRAC_THREADS"))
+        return std::max(1, std::atoi(env));
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 2 : static_cast<int>(hw);
+}
+
+SystemConfig
+makeSystemConfig(const DesignSpec& design, const ExperimentConfig& cfg)
+{
+    SystemConfig sys;
+    sys.timing = design.timing;
+    sys.ctrl.abo = design.abo;
+    sys.ctrl.rfm_policy = design.rfm_policy;
+    sys.core.target_insts = cfg.insts_per_core;
+    sys.num_cores = cfg.num_cores;
+    sys.llc.size_bytes = cfg.llc_mb * 1024 * 1024;
+    return sys;
+}
+
+SimResult
+runOne(const Workload& workload, const DesignSpec& design,
+       const ExperimentConfig& cfg)
+{
+    SystemConfig sys = makeSystemConfig(design, cfg);
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    for (int c = 0; c < cfg.num_cores; ++c)
+        traces.push_back(makeTrace(workload, c, cfg.insts_per_core));
+    System system(sys, design.factory, std::move(traces));
+    return system.run();
+}
+
+namespace {
+
+DesignSpec
+makeBaseline(const dram::TimingParams& timing, const std::string& key)
+{
+    DesignSpec d;
+    d.label = "Baseline(" + key + ")";
+    d.timing = timing;
+    d.abo.enabled = false;
+    d.factory = nullptr;
+    d.baseline_key = key;
+    return d;
+}
+
+} // namespace
+
+std::vector<WorkloadRow>
+runComparison(const std::vector<Workload>& workloads,
+              const std::vector<DesignSpec>& designs,
+              const ExperimentConfig& cfg)
+{
+    // Distinct baselines by key (designs with different timing presets
+    // are normalized against a baseline with their own timings).
+    std::map<std::string, DesignSpec> baselines;
+    for (const auto& d : designs)
+        if (!baselines.count(d.baseline_key))
+            baselines.emplace(d.baseline_key,
+                              makeBaseline(d.timing, d.baseline_key));
+    const std::string primary_key = designs.empty()
+                                        ? std::string("prac")
+                                        : designs.front().baseline_key;
+
+    std::vector<WorkloadRow> rows(workloads.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= workloads.size())
+                return;
+            const Workload& wl = workloads[i];
+            WorkloadRow row;
+            row.workload = wl.name;
+            row.suite = wl.suite;
+            std::map<std::string, SimResult> base_results;
+            for (const auto& [key, base] : baselines)
+                base_results.emplace(key, runOne(wl, base, cfg));
+            row.baseline = base_results.at(primary_key);
+            row.base_rbmpki = row.baseline.rbmpki;
+            for (const auto& d : designs) {
+                DesignResult dr;
+                dr.label = d.label;
+                dr.sim = runOne(wl, d, cfg);
+                double base_ipc =
+                    base_results.at(d.baseline_key).ipc_sum;
+                dr.norm_perf =
+                    base_ipc > 0 ? dr.sim.ipc_sum / base_ipc : 0.0;
+                row.designs.push_back(std::move(dr));
+            }
+            rows[i] = std::move(row);
+        }
+    };
+
+    int threads = std::max(1, cfg.threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads - 1; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto& t : pool)
+        t.join();
+    return rows;
+}
+
+double
+geomeanNormPerf(const std::vector<WorkloadRow>& rows, int idx)
+{
+    std::vector<double> values;
+    for (const auto& row : rows)
+        values.push_back(row.designs[static_cast<std::size_t>(idx)]
+                             .norm_perf);
+    return geomean(values);
+}
+
+double
+meanSlowdownPct(const std::vector<WorkloadRow>& rows, int idx)
+{
+    double slowdown = 100.0 * (1.0 - geomeanNormPerf(rows, idx));
+    return slowdown < 0.0 ? 0.0 : slowdown;
+}
+
+double
+meanAlertsPerTrefi(const std::vector<WorkloadRow>& rows, int idx)
+{
+    std::vector<double> values;
+    for (const auto& row : rows)
+        values.push_back(row.designs[static_cast<std::size_t>(idx)]
+                             .sim.alerts_per_trefi);
+    return mean(values);
+}
+
+} // namespace qprac::sim

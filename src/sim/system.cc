@@ -1,0 +1,84 @@
+#include "sim/system.h"
+
+#include "common/log.h"
+
+namespace qprac::sim {
+
+System::System(const SystemConfig& config, MitigationFactory mitigation,
+               std::vector<std::unique_ptr<cpu::TraceSource>> traces)
+    : cfg_(config),
+      mapper_(config.org, config.mapping),
+      traces_(std::move(traces))
+{
+    QP_ASSERT(static_cast<int>(traces_.size()) == cfg_.num_cores,
+              "one trace per core required");
+    device_ = std::make_unique<dram::DramDevice>(cfg_.org, cfg_.timing,
+                                                 cfg_.blast_radius);
+    if (mitigation)
+        mitigation_ = mitigation(&device_->pracCounters());
+    device_->setMitigation(mitigation_.get());
+    mc_ = std::make_unique<ctrl::MemoryController>(*device_, cfg_.ctrl);
+    llc_ = std::make_unique<cpu::SharedLlc>(cfg_.llc, *mc_, mapper_);
+    for (int i = 0; i < cfg_.num_cores; ++i)
+        cores_.push_back(std::make_unique<cpu::O3Core>(
+            i, cfg_.core, *traces_[static_cast<std::size_t>(i)], *llc_));
+
+    // Pre-warm each trace's resident set so short runs are not
+    // dominated by cold-start misses.
+    std::vector<Addr> warm;
+    for (const auto& trace : traces_) {
+        warm.clear();
+        trace->warmupAddrs(warm);
+        for (Addr a : warm)
+            llc_->warmInstall(a);
+    }
+}
+
+SimResult
+System::run()
+{
+    Cycle cycle = 0;
+    for (; cycle < cfg_.max_cycles; ++cycle) {
+        mc_->tick(cycle);
+        llc_->tick(cycle);
+        bool all_done = true;
+        for (auto& core : cores_) {
+            core->tick(cycle);
+            all_done = all_done && core->done();
+        }
+        if (all_done)
+            break;
+    }
+    if (cycle >= cfg_.max_cycles)
+        warn("simulation hit max_cycles before cores finished");
+
+    SimResult r;
+    r.cycles = cycle;
+    double total_insts = 0.0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        double ipc = cores_[i]->ipc();
+        r.core_ipc.push_back(ipc);
+        r.ipc_sum += ipc;
+        total_insts += static_cast<double>(cores_[i]->retired());
+        cores_[i]->exportStats(r.stats, strCat("core", i, "."));
+    }
+    device_->stats().exportTo(r.stats, "dram.");
+    mc_->stats().exportTo(r.stats, "ctrl.");
+    llc_->stats().exportTo(r.stats, "llc.");
+    if (mitigation_)
+        mitigation_->stats().exportTo(r.stats, "mit.");
+
+    r.acts = static_cast<double>(device_->stats().acts);
+    r.rbmpki = total_insts > 0 ? r.acts / (total_insts / 1000.0) : 0.0;
+    double trefis = static_cast<double>(cycle) /
+                    static_cast<double>(cfg_.timing.tREFI);
+    r.alerts_per_trefi =
+        trefis > 0 ? static_cast<double>(mc_->abo().alerts()) / trefis : 0.0;
+    r.stats.set("sim.cycles", static_cast<double>(cycle));
+    r.stats.set("sim.ipc_sum", r.ipc_sum);
+    r.stats.set("sim.rbmpki", r.rbmpki);
+    r.stats.set("sim.alerts_per_trefi", r.alerts_per_trefi);
+    return r;
+}
+
+} // namespace qprac::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Full-system wiring: cores + shared LLC + memory controller + DRAM
+ * device + in-DRAM mitigation, advanced on a single master clock (the
+ * DRAM command clock).
+ */
+#ifndef QPRAC_SIM_SYSTEM_H
+#define QPRAC_SIM_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "cpu/core.h"
+#include "cpu/llc.h"
+#include "cpu/trace.h"
+#include "ctrl/memory_controller.h"
+#include "dram/dram_device.h"
+
+namespace qprac::sim {
+
+/** Builds the in-DRAM mitigation once the device's counters exist. */
+using MitigationFactory =
+    std::function<std::unique_ptr<dram::RowhammerMitigation>(
+        dram::PracCounters*)>;
+
+/** System-level configuration. */
+struct SystemConfig
+{
+    dram::Organization org;
+    dram::TimingParams timing = dram::TimingParams::ddr5Prac();
+    dram::MappingScheme mapping = dram::MappingScheme::RoRaBgBaCo;
+    ctrl::ControllerConfig ctrl;
+    cpu::LlcConfig llc;
+    cpu::CoreConfig core;
+    int num_cores = 4;
+    int blast_radius = 2;
+    Cycle max_cycles = 500'000'000;
+};
+
+/** Results of one simulation. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    std::vector<double> core_ipc;
+    double ipc_sum = 0.0;         ///< Σ per-core IPC (weighted-speedup numerator)
+    double alerts_per_trefi = 0.0;
+    double rbmpki = 0.0;          ///< ACTs per kilo-instruction
+    double acts = 0.0;
+    StatSet stats;
+};
+
+/** One simulated machine instance. */
+class System
+{
+  public:
+    System(const SystemConfig& config, MitigationFactory mitigation,
+           std::vector<std::unique_ptr<cpu::TraceSource>> traces);
+
+    /** Run until every core retires its instruction target. */
+    SimResult run();
+
+    dram::DramDevice& device() { return *device_; }
+    ctrl::MemoryController& controller() { return *mc_; }
+    cpu::SharedLlc& llc() { return *llc_; }
+    dram::RowhammerMitigation* mitigation() { return mitigation_.get(); }
+
+  private:
+    SystemConfig cfg_;
+    dram::AddressMapper mapper_;
+    std::unique_ptr<dram::DramDevice> device_;
+    std::unique_ptr<dram::RowhammerMitigation> mitigation_;
+    std::unique_ptr<ctrl::MemoryController> mc_;
+    std::unique_ptr<cpu::SharedLlc> llc_;
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces_;
+    std::vector<std::unique_ptr<cpu::O3Core>> cores_;
+};
+
+} // namespace qprac::sim
+
+#endif // QPRAC_SIM_SYSTEM_H

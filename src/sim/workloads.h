@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 57-workload evaluation suite (paper §V) as synthetic SPEC-like
+ * profiles. Each profile parameterizes the two-pool stream generator
+ * (cpu/trace.h); intensities are calibrated so the distribution of
+ * row-buffer misses per kilo-instruction (RBMPKI) resembles the mix of
+ * SPEC2006/SPEC2017/TPC/Hadoop/MediaBench/YCSB traces the paper uses.
+ */
+#ifndef QPRAC_SIM_WORKLOADS_H
+#define QPRAC_SIM_WORKLOADS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.h"
+
+namespace qprac::sim {
+
+/** One named workload profile. */
+struct Workload
+{
+    std::string name;
+    std::string suite; ///< SPEC2006 / SPEC2017 / TPC / Hadoop / Media / YCSB
+    double mem_per_kilo;  ///< memory ops per kilo-instruction
+    double miss_per_kilo; ///< LLC misses per kilo-instruction (target)
+    double seq_frac;      ///< sequential fraction of the miss stream
+    double store_frac;    ///< store fraction of memory ops
+    double footprint_mb = 256.0;
+
+    /**
+     * Analytic RBMPKI estimate: random-stream misses open a new row,
+     * sequential misses share a row across its 128 lines.
+     */
+    double expectedRbmpki() const;
+};
+
+/** All 57 workloads, in suite order. */
+const std::vector<Workload>& workloadSuite();
+
+/** Look up a workload by name; fatal() if absent. */
+const Workload& findWorkload(const std::string& name);
+
+/**
+ * Build the trace source for one core running @p w. Homogeneous
+ * multi-core mixes give each core a disjoint address-space quadrant.
+ *
+ * @param insts_hint expected instructions this trace will feed. The
+ *        streaming footprint is scaled with the expected miss count so
+ *        that DRAM-row reuse over a short run matches the long-run
+ *        behaviour of the full-size workload (see DESIGN.md).
+ */
+std::unique_ptr<cpu::TraceSource>
+makeTrace(const Workload& w, int core_id,
+          std::uint64_t insts_hint = 1'000'000);
+
+} // namespace qprac::sim
+
+#endif // QPRAC_SIM_WORKLOADS_H

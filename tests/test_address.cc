@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for DRAM organization and address mapping.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/address.h"
+
+using namespace qprac;
+using dram::AddressMapper;
+using dram::DecodedAddr;
+using dram::MappingScheme;
+using dram::Organization;
+
+TEST(Organization, PaperDefaults)
+{
+    Organization org;
+    EXPECT_EQ(org.totalBanks(), 64); // 4 banks x 8 groups x 2 ranks
+    EXPECT_EQ(org.banksPerRank(), 32);
+    EXPECT_EQ(org.rows_per_bank, 128 * 1024);
+    EXPECT_EQ(org.columnsPerRow(), 128); // 8KB row / 64B line
+}
+
+TEST(AddressMapper, EncodeDecodeRoundTrip)
+{
+    Organization org;
+    for (auto scheme :
+         {MappingScheme::RoRaBgBaCo, MappingScheme::RoCoRaBgBa}) {
+        AddressMapper m(org, scheme);
+        DecodedAddr d;
+        d.rank = 1;
+        d.bankgroup = 5;
+        d.bank = 3;
+        d.row = 70'000;
+        d.column = 99;
+        EXPECT_EQ(m.decode(m.encode(d)), d);
+    }
+}
+
+TEST(AddressMapper, RoundTripRandomSweep)
+{
+    Organization org;
+    AddressMapper m(org);
+    Rng rng(17);
+    for (int i = 0; i < 2000; ++i) {
+        DecodedAddr d;
+        d.rank = static_cast<int>(rng.nextBelow(2));
+        d.bankgroup = static_cast<int>(rng.nextBelow(8));
+        d.bank = static_cast<int>(rng.nextBelow(4));
+        d.row = static_cast<int>(rng.nextBelow(128 * 1024));
+        d.column = static_cast<int>(rng.nextBelow(128));
+        Addr a = m.encode(d);
+        EXPECT_EQ(m.decode(a), d);
+        // Line-aligned addresses only use bits above the offset.
+        EXPECT_EQ(a % 64, 0u);
+    }
+}
+
+TEST(AddressMapper, ConsecutiveLinesShareRowInRowMajor)
+{
+    Organization org;
+    AddressMapper m(org, MappingScheme::RoRaBgBaCo);
+    Addr base = m.makeAddr(0, 0, 2, 1, 1000, 0);
+    DecodedAddr first = m.decode(base);
+    DecodedAddr second = m.decode(base + 64);
+    EXPECT_EQ(first.row, second.row);
+    EXPECT_EQ(first.bankgroup, second.bankgroup);
+    EXPECT_EQ(second.column, first.column + 1);
+}
+
+TEST(AddressMapper, ConsecutiveLinesStripeBanksInInterleaved)
+{
+    Organization org;
+    AddressMapper m(org, MappingScheme::RoCoRaBgBa);
+    Addr base = m.makeAddr(0, 0, 0, 0, 1000, 5);
+    DecodedAddr first = m.decode(base);
+    DecodedAddr second = m.decode(base + 64);
+    EXPECT_NE(m.flatBank(first), m.flatBank(second));
+}
+
+TEST(AddressMapper, FlatBankCoversAllBanksUniquely)
+{
+    Organization org;
+    AddressMapper m(org);
+    std::vector<bool> seen(static_cast<std::size_t>(org.totalBanks()),
+                           false);
+    for (int r = 0; r < org.ranks; ++r)
+        for (int bg = 0; bg < org.bankgroups; ++bg)
+            for (int b = 0; b < org.banks_per_group; ++b) {
+                DecodedAddr d;
+                d.rank = r;
+                d.bankgroup = bg;
+                d.bank = b;
+                int flat = m.flatBank(d);
+                ASSERT_GE(flat, 0);
+                ASSERT_LT(flat, org.totalBanks());
+                EXPECT_FALSE(seen[static_cast<std::size_t>(flat)]);
+                seen[static_cast<std::size_t>(flat)] = true;
+            }
+}
+
+TEST(AddressMapper, TinyOrganizationWorks)
+{
+    Organization org = Organization::tiny();
+    AddressMapper m(org);
+    DecodedAddr d;
+    d.bankgroup = 1;
+    d.bank = 1;
+    d.row = 200;
+    d.column = 3;
+    EXPECT_EQ(m.decode(m.encode(d)), d);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the Panopticon attack simulators (paper Figs 2, 3, 23).
+ */
+#include <gtest/gtest.h>
+
+#include "attacks/panopticon_attacks.h"
+
+using namespace qprac::attacks;
+
+namespace {
+
+PanopticonAttackConfig
+tbitCfg(int q, int tbit)
+{
+    PanopticonAttackConfig c;
+    c.queue_size = q;
+    c.tbit = tbit;
+    c.ref_drain = RefDrainPolicy::EveryTrefi;
+    return c;
+}
+
+PanopticonAttackConfig
+fillCfg(int q, int threshold)
+{
+    PanopticonAttackConfig c;
+    c.queue_size = q;
+    c.threshold = threshold;
+    c.nmit = 4; // paper: "up to four entries removed" per alert
+    c.ref_drain = RefDrainPolicy::OncePerService;
+    return c;
+}
+
+PanopticonAttackConfig
+blockCfg(int q, int tbit)
+{
+    PanopticonAttackConfig c;
+    c.queue_size = q;
+    c.tbit = tbit;
+    c.nmit = 1;
+    c.ref_drain = RefDrainPolicy::None;
+    return c;
+}
+
+} // namespace
+
+TEST(ToggleForget, BreaksSub100TrhByHugeMargin)
+{
+    // Fig 2: with a 4-entry queue the target can exceed 100K
+    // activations without a single mitigation (1000x a sub-100 TRH).
+    auto out = toggleForgetAttack(tbitCfg(4, 6));
+    EXPECT_FALSE(out.target_was_mitigated);
+    EXPECT_GT(out.target_unmitigated_acts, 90'000);
+}
+
+TEST(ToggleForget, DecreasesWithQueueSize)
+{
+    long prev = 1L << 60;
+    for (int q : {4, 8, 12, 16}) {
+        auto out = toggleForgetAttack(tbitCfg(q, 6));
+        EXPECT_FALSE(out.target_was_mitigated);
+        EXPECT_LT(out.target_unmitigated_acts, prev);
+        prev = out.target_unmitigated_acts;
+    }
+    // Even at queue size 16 the attack lands ~25K unmitigated ACTs.
+    EXPECT_GT(prev, 20'000);
+}
+
+TEST(ToggleForget, IndependentOfMitigationThreshold)
+{
+    // Fig 2: the vulnerability does not depend on the t-bit value.
+    auto t6 = toggleForgetAttack(tbitCfg(8, 6));
+    auto t8 = toggleForgetAttack(tbitCfg(8, 8));
+    auto t10 = toggleForgetAttack(tbitCfg(8, 10));
+    double lo = 0.75 * static_cast<double>(t6.target_unmitigated_acts);
+    double hi = 1.25 * static_cast<double>(t6.target_unmitigated_acts);
+    EXPECT_GT(static_cast<double>(t8.target_unmitigated_acts), lo);
+    EXPECT_LT(static_cast<double>(t8.target_unmitigated_acts), hi);
+    EXPECT_GT(static_cast<double>(t10.target_unmitigated_acts), lo);
+    EXPECT_LT(static_cast<double>(t10.target_unmitigated_acts), hi);
+}
+
+TEST(FillEscape, OverThousandUnmitigatedActsAtM512)
+{
+    // Fig 3: >= ~1.3K unmitigated ACTs at a mitigation threshold of 512.
+    auto out = fillEscapeAttack(fillCfg(4, 512));
+    EXPECT_FALSE(out.target_was_mitigated);
+    EXPECT_GT(out.target_unmitigated_acts, 1000);
+}
+
+TEST(FillEscape, UShapedInThreshold)
+{
+    // Low thresholds: queue refills are cheap -> many ABO_ACT rounds.
+    // High thresholds: the M-1 setup itself dominates. Minimum near 512.
+    auto m64 = fillEscapeAttack(fillCfg(4, 64));
+    auto m512 = fillEscapeAttack(fillCfg(4, 512));
+    auto m4096 = fillEscapeAttack(fillCfg(4, 4096));
+    EXPECT_GT(m64.target_unmitigated_acts, m512.target_unmitigated_acts);
+    EXPECT_GT(m4096.target_unmitigated_acts,
+              m512.target_unmitigated_acts);
+    EXPECT_GT(m64.target_unmitigated_acts, 4000);
+}
+
+TEST(FillEscape, TargetNeverEntersQueue)
+{
+    for (int m : {64, 256, 1024}) {
+        auto out = fillEscapeAttack(fillCfg(8, m));
+        EXPECT_FALSE(out.target_was_mitigated) << "threshold " << m;
+        EXPECT_GT(out.alerts, 0);
+    }
+}
+
+TEST(BlockingTbit, StillInsecure)
+{
+    // Fig 23 / Appendix A: barring ABO_ACT from toggling the t-bit
+    // makes the target permanently unmitigatable; ~1800 ACTs at M=1024.
+    auto out = blockingTbitAttack(blockCfg(4, 10));
+    EXPECT_FALSE(out.target_was_mitigated);
+    EXPECT_GT(out.target_unmitigated_acts, 1500);
+}
+
+TEST(BlockingTbit, WorseAtLowThresholds)
+{
+    auto m16 = blockingTbitAttack(blockCfg(4, 4));
+    auto m1024 = blockingTbitAttack(blockCfg(4, 10));
+    EXPECT_GT(m16.target_unmitigated_acts,
+              10 * m1024.target_unmitigated_acts);
+    EXPECT_GT(m16.target_unmitigated_acts, 50'000);
+}
+
+/** Parameterized: the attacks succeed across the full Fig 2/3 grids. */
+class ToggleForgetGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ToggleForgetGrid, TargetNeverMitigated)
+{
+    auto [q, tbit] = GetParam();
+    auto out = toggleForgetAttack(tbitCfg(q, tbit));
+    EXPECT_FALSE(out.target_was_mitigated);
+    EXPECT_GT(out.target_unmitigated_acts, 10'000);
+    EXPECT_GT(out.alerts, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ToggleForgetGrid,
+                         ::testing::Combine(::testing::Values(4, 8, 16),
+                                            ::testing::Values(6, 8, 10)));

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the per-bank DRAM state machine and rank constraints.
+ */
+#include <gtest/gtest.h>
+
+#include "dram/bank.h"
+#include "dram/rank.h"
+
+using namespace qprac;
+using dram::Bank;
+using dram::RankTiming;
+using dram::TimingParams;
+
+namespace {
+
+TimingParams
+timing()
+{
+    return TimingParams::ddr5Prac();
+}
+
+} // namespace
+
+TEST(Bank, ActOpensRow)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    EXPECT_TRUE(b.canAct(0));
+    b.doAct(42, 0);
+    EXPECT_TRUE(b.isOpen());
+    EXPECT_EQ(b.openRow(), 42);
+    EXPECT_EQ(b.activations(), 1u);
+}
+
+TEST(Bank, ReadOnlyAfterTrcd)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.doAct(1, 0);
+    EXPECT_FALSE(b.canRead(static_cast<Cycle>(t.tRCD - 1)));
+    EXPECT_TRUE(b.canRead(static_cast<Cycle>(t.tRCD)));
+}
+
+TEST(Bank, PrechargeOnlyAfterTras)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.doAct(1, 0);
+    EXPECT_FALSE(b.canPre(static_cast<Cycle>(t.tRAS - 1)));
+    EXPECT_TRUE(b.canPre(static_cast<Cycle>(t.tRAS)));
+}
+
+TEST(Bank, ActToActRespectsTrc)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.doAct(1, 0);
+    b.doPre(static_cast<Cycle>(t.tRAS));
+    // tRP after PRE but also tRC after the previous ACT.
+    EXPECT_FALSE(b.canAct(static_cast<Cycle>(t.tRC - 1)));
+    EXPECT_TRUE(b.canAct(static_cast<Cycle>(t.tRC)));
+}
+
+TEST(Bank, ReadPushesPrechargeOut)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.doAct(1, 0);
+    Cycle rd_at = static_cast<Cycle>(t.tRCD);
+    Cycle done = b.doRead(rd_at);
+    EXPECT_EQ(done, rd_at + static_cast<Cycle>(t.tCL + t.tBL));
+    // PRE must respect tRTP from the read.
+    EXPECT_GE(b.nextPreReady(), rd_at + static_cast<Cycle>(t.tRTP));
+}
+
+TEST(Bank, WriteRecoveryBeforePrecharge)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.doAct(1, 0);
+    Cycle wr_at = static_cast<Cycle>(t.tRCD);
+    Cycle done = b.doWrite(wr_at);
+    EXPECT_EQ(done, wr_at + static_cast<Cycle>(t.tCWL + t.tBL));
+    EXPECT_GE(b.nextPreReady(), done + static_cast<Cycle>(t.tWR));
+}
+
+TEST(Bank, BlockDelaysNextActivation)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.block(1000);
+    EXPECT_FALSE(b.canAct(999));
+    EXPECT_TRUE(b.canAct(1000));
+    EXPECT_FALSE(b.idleAt(500));
+    EXPECT_TRUE(b.idleAt(1000));
+}
+
+TEST(Bank, RowHitStat)
+{
+    TimingParams t = timing();
+    Bank b(t);
+    b.noteRowHit();
+    b.noteRowHit();
+    EXPECT_EQ(b.rowHits(), 2u);
+}
+
+TEST(RankTimingTest, TrrdSpacing)
+{
+    TimingParams t = timing();
+    RankTiming r(t);
+    EXPECT_TRUE(r.canAct(0, 0));
+    r.recordAct(0, 0);
+    // Same bank group: tRRD_L; different group: tRRD_S.
+    EXPECT_FALSE(r.canAct(0, static_cast<Cycle>(t.tRRD_L - 1)));
+    EXPECT_TRUE(r.canAct(0, static_cast<Cycle>(t.tRRD_L)));
+    EXPECT_FALSE(r.canAct(1, static_cast<Cycle>(t.tRRD_S - 1)));
+    EXPECT_TRUE(r.canAct(1, static_cast<Cycle>(t.tRRD_S)));
+}
+
+TEST(RankTimingTest, FawLimitsBurstOfActivates)
+{
+    TimingParams t = timing();
+    RankTiming r(t);
+    Cycle c = 0;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(r.canAct(i % 8, c));
+        r.recordAct(i % 8, c);
+        c += static_cast<Cycle>(t.tRRD_S);
+    }
+    // The 5th ACT must wait for the tFAW window to roll past the 1st.
+    Cycle first = 0;
+    EXPECT_FALSE(r.canAct(4, c));
+    EXPECT_TRUE(r.canAct(4, first + static_cast<Cycle>(t.tFAW)));
+    EXPECT_GE(r.nextActReady(4), first + static_cast<Cycle>(t.tFAW));
+}
+
+TEST(RankTimingTest, CasToCSpacing)
+{
+    TimingParams t = timing();
+    RankTiming r(t);
+    r.recordCas(2, 100);
+    EXPECT_FALSE(r.canCas(2, 100 + static_cast<Cycle>(t.tCCD_L - 1)));
+    EXPECT_TRUE(r.canCas(2, 100 + static_cast<Cycle>(t.tCCD_L)));
+    EXPECT_FALSE(r.canCas(3, 100 + static_cast<Cycle>(t.tCCD_S - 1)));
+    EXPECT_TRUE(r.canCas(3, 100 + static_cast<Cycle>(t.tCCD_S)));
+}

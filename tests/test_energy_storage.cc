@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the energy model (Table III / Fig 22 machinery) and
+ * the tracker storage model (Table IV).
+ */
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "security/storage_model.h"
+
+using namespace qprac;
+using energy::computeEnergy;
+using energy::EnergyBreakdown;
+using energy::EnergyParams;
+
+namespace {
+
+StatSet
+baseStats()
+{
+    StatSet s;
+    s.set("dram.acts", 1000);
+    s.set("dram.reads", 800);
+    s.set("dram.writes", 200);
+    s.set("dram.refs", 50);
+    s.set("sim.cycles", 1'000'000);
+    return s;
+}
+
+} // namespace
+
+TEST(EnergyModel, BreakdownArithmetic)
+{
+    dram::Organization org;
+    auto t = dram::TimingParams::ddr5Prac();
+    EnergyParams p = EnergyParams::ddr5();
+    StatSet s = baseStats();
+    EnergyBreakdown e = computeEnergy(s, org, t, p);
+    EXPECT_DOUBLE_EQ(e.act_nj, 1000 * p.e_act_nj);
+    EXPECT_DOUBLE_EQ(e.rw_nj, 800 * p.e_rd_nj + 200 * p.e_wr_nj);
+    EXPECT_DOUBLE_EQ(e.refresh_nj, 50 * 32 * p.e_ref_bank_nj);
+    EXPECT_DOUBLE_EQ(e.mitigation_nj, 0.0);
+    EXPECT_GT(e.background_nj, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.act_nj + e.rw_nj + e.refresh_nj +
+                                    e.background_nj);
+}
+
+TEST(EnergyModel, MitigationRowsCharged)
+{
+    dram::Organization org;
+    auto t = dram::TimingParams::ddr5Prac();
+    EnergyParams p = EnergyParams::ddr5();
+    StatSet s = baseStats();
+    s.set("mit.rfm_mitigations", 10);
+    s.set("mit.proactive_mitigations", 5);
+    s.set("mit.victim_refreshes", 60); // 4 victims per mitigation
+    EnergyBreakdown e = computeEnergy(s, org, t, p);
+    EXPECT_DOUBLE_EQ(e.mitigation_nj, 75 * p.e_mit_row_nj);
+}
+
+TEST(EnergyModel, OverheadPct)
+{
+    dram::Organization org;
+    auto t = dram::TimingParams::ddr5Prac();
+    StatSet base = baseStats();
+    StatSet with = baseStats();
+    with.set("mit.rfm_mitigations", 100);
+    with.set("mit.victim_refreshes", 400);
+    EnergyBreakdown eb = computeEnergy(base, org, t);
+    EnergyBreakdown ew = computeEnergy(with, org, t);
+    EXPECT_GT(ew.overheadPctVs(eb), 0.0);
+    EXPECT_DOUBLE_EQ(eb.overheadPctVs(eb), 0.0);
+}
+
+TEST(EnergyModel, ProactiveEveryRefCostsRoughlyPaperMagnitude)
+{
+    // Structure check for Table III: one proactive mitigation per bank
+    // per REF across 64 banks adds ~10-20% to a typical benign-run
+    // energy budget.
+    dram::Organization org;
+    auto t = dram::TimingParams::ddr5Prac();
+    double trefis = 1000;
+    StatSet base;
+    base.set("dram.acts", 80 * trefis); // ~80 ACTs per tREFI channel-wide
+    base.set("dram.reads", 60 * trefis);
+    base.set("dram.writes", 20 * trefis);
+    base.set("dram.refs", 2 * trefis); // two ranks
+    base.set("sim.cycles", t.tREFI * trefis);
+    StatSet pro = base;
+    double mitigations = 64 * trefis; // every bank, every tREFI
+    pro.set("mit.proactive_mitigations", mitigations);
+    pro.set("mit.victim_refreshes", 4 * mitigations);
+    double overhead = computeEnergy(pro, org, t)
+                          .overheadPctVs(computeEnergy(base, org, t));
+    EXPECT_GT(overhead, 8.0);
+    EXPECT_LT(overhead, 25.0);
+}
+
+TEST(StorageModel, PaperTable4Anchors)
+{
+    using namespace qprac::security;
+    EXPECT_NEAR(misraGriesBytes(4000) / 1024.0, 42.5, 1.0);
+    EXPECT_NEAR(misraGriesBytes(100) / 1024.0, 1700.0, 40.0);
+    EXPECT_NEAR(twiceBytes(4000) / 1024.0, 300.0, 8.0);
+    EXPECT_NEAR(twiceBytes(100) / (1024.0 * 1024.0), 12.0, 0.3);
+    EXPECT_NEAR(catBytes(4000) / 1024.0, 196.0, 5.0);
+    EXPECT_NEAR(catBytes(100) / (1024.0 * 1024.0), 7.84, 0.2);
+}
+
+TEST(StorageModel, QpracIs15BytesFlat)
+{
+    using namespace qprac::security;
+    // 5 x (17b row + 7b counter) = 120 bits = 15 B, independent of TRH.
+    EXPECT_NEAR(qpracPsqBytes(5, 128 * 1024, 66), 15.0, 0.01);
+    EXPECT_NEAR(qpracPsqBytes(5, 128 * 1024, 100), 15.0, 0.01);
+}
+
+TEST(StorageModel, CounterBitsRule)
+{
+    using namespace qprac::security;
+    EXPECT_EQ(pracCounterBits(66), 7);  // paper: 7-bit for TRH 66
+    EXPECT_EQ(pracCounterBits(32), 6);  // floor at 6 bits
+    EXPECT_EQ(pracCounterBits(16), 6);
+    EXPECT_EQ(pracCounterBits(255), 8);
+}
+
+TEST(StorageModel, TableHasAllTrackers)
+{
+    auto table = qprac::security::storageTable(100);
+    ASSERT_EQ(table.size(), 4u);
+    EXPECT_EQ(table.back().name, "QPRAC");
+    // QPRAC is orders of magnitude smaller than everything else.
+    for (std::size_t i = 0; i + 1 < table.size(); ++i)
+        EXPECT_GT(table[i].bytes_per_bank,
+                  1000 * table.back().bytes_per_bank);
+}

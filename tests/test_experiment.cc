@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the experiment harness: design presets, baseline-key
+ * separation, config plumbing and the summary statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/experiment.h"
+
+using namespace qprac;
+using core::QpracConfig;
+using sim::DesignSpec;
+using sim::ExperimentConfig;
+
+TEST(DesignSpecTest, QpracPresetWiresAboAndFactory)
+{
+    DesignSpec d = DesignSpec::qprac(QpracConfig::base(32, 2));
+    EXPECT_EQ(d.label, "QPRAC");
+    EXPECT_TRUE(d.abo.enabled);
+    EXPECT_EQ(d.abo.nmit, 2);
+    EXPECT_EQ(d.baseline_key, "prac");
+    ASSERT_TRUE(d.factory);
+    dram::PracCounters ctrs(1, 64);
+    auto mit = d.factory(&ctrs);
+    ASSERT_NE(mit, nullptr);
+    EXPECT_EQ(mit->name(), "QPRAC");
+}
+
+TEST(DesignSpecTest, PrideUsesOwnTimingAndBaseline)
+{
+    DesignSpec d = DesignSpec::pride(250);
+    EXPECT_EQ(d.baseline_key, "noprac");
+    EXPECT_FALSE(d.abo.enabled);
+    EXPECT_EQ(d.rfm_policy.acts_per_rfm, 10); // paper anchor at TRH 250
+    EXPECT_LT(d.timing.tRC, dram::TimingParams::ddr5Prac().tRC);
+}
+
+TEST(DesignSpecTest, MithrilPacedDenserThanPride)
+{
+    DesignSpec m = DesignSpec::mithril(512);
+    DesignSpec p = DesignSpec::pride(512);
+    EXPECT_LE(m.rfm_policy.acts_per_rfm, p.rfm_policy.acts_per_rfm);
+}
+
+TEST(DesignSpecTest, MoatPreset)
+{
+    DesignSpec d = DesignSpec::moat(mitigations::MoatConfig::forNbo(32));
+    EXPECT_TRUE(d.abo.enabled);
+    dram::PracCounters ctrs(1, 64);
+    auto mit = d.factory(&ctrs);
+    EXPECT_EQ(mit->name(), "MOAT");
+}
+
+TEST(ExperimentConfigTest, EnvOverrides)
+{
+    setenv("QPRAC_INSTS", "12345", 1);
+    setenv("QPRAC_THREADS", "3", 1);
+    setenv("QPRAC_LLC_MB", "7", 1);
+    EXPECT_EQ(ExperimentConfig::defaultInstsPerCore(), 12345u);
+    EXPECT_EQ(ExperimentConfig::defaultThreads(), 3);
+    EXPECT_EQ(ExperimentConfig::defaultLlcMb(), 7u);
+    unsetenv("QPRAC_INSTS");
+    unsetenv("QPRAC_THREADS");
+    unsetenv("QPRAC_LLC_MB");
+    EXPECT_EQ(ExperimentConfig::defaultInstsPerCore(), 300'000u);
+    EXPECT_GE(ExperimentConfig::defaultThreads(), 1);
+    EXPECT_EQ(ExperimentConfig::defaultLlcMb(), 2u);
+}
+
+TEST(ExperimentConfigTest, SystemConfigPlumbing)
+{
+    ExperimentConfig cfg;
+    cfg.insts_per_core = 777;
+    cfg.num_cores = 2;
+    cfg.llc_mb = 4;
+    DesignSpec d = DesignSpec::qprac(QpracConfig::base(32, 4));
+    sim::SystemConfig sys = sim::makeSystemConfig(d, cfg);
+    EXPECT_EQ(sys.core.target_insts, 777u);
+    EXPECT_EQ(sys.num_cores, 2);
+    EXPECT_EQ(sys.llc.size_bytes, 4u * 1024 * 1024);
+    EXPECT_EQ(sys.ctrl.abo.nmit, 4);
+    EXPECT_TRUE(sys.ctrl.abo.enabled);
+}
+
+TEST(ExperimentRunner, SeparateBaselinesPerTimingKey)
+{
+    // A PRAC design and a no-PRAC design must each normalize against a
+    // baseline with their own timings (Fig 20 methodology).
+    ExperimentConfig cfg;
+    cfg.insts_per_core = 15'000;
+    cfg.num_cores = 1;
+    cfg.threads = 1;
+    std::vector<sim::Workload> wls = {sim::findWorkload("403.gcc")};
+    std::vector<DesignSpec> designs = {
+        DesignSpec::qprac(QpracConfig::proactiveEa(32, 1)),
+        DesignSpec::pride(1024),
+    };
+    auto rows = sim::runComparison(wls, designs, cfg);
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].designs.size(), 2u);
+    // Both normalize near 1.0 *against their own* baselines; a shared
+    // baseline would skew PrIDE by the PRAC timing difference.
+    EXPECT_GT(rows[0].designs[0].norm_perf, 0.9);
+    EXPECT_GT(rows[0].designs[1].norm_perf, 0.9);
+    EXPECT_LT(rows[0].designs[1].norm_perf, 1.1);
+}
+
+TEST(ExperimentRunner, SummaryHelpers)
+{
+    sim::WorkloadRow a, b;
+    a.base_rbmpki = 10.0;
+    b.base_rbmpki = 0.5;
+    sim::DesignResult da, db;
+    da.norm_perf = 0.8;
+    da.sim.alerts_per_trefi = 1.0;
+    db.norm_perf = 1.0;
+    db.sim.alerts_per_trefi = 0.0;
+    a.designs = {da};
+    b.designs = {db};
+    std::vector<sim::WorkloadRow> rows = {a, b};
+    EXPECT_NEAR(sim::geomeanNormPerf(rows, 0), std::sqrt(0.8), 1e-9);
+    EXPECT_NEAR(sim::meanSlowdownPct(rows, 0),
+                100.0 * (1.0 - std::sqrt(0.8)), 1e-6);
+    EXPECT_NEAR(sim::meanAlertsPerTrefi(rows, 0), 0.5, 1e-9);
+}

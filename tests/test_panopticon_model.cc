@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Agreement tests: the closed-form Panopticon attack models must track
+ * the event-level attack simulators within a modest factor across the
+ * paper's parameter grids (and exactly capture their scaling trends).
+ */
+#include <gtest/gtest.h>
+
+#include "attacks/panopticon_attacks.h"
+#include "security/panopticon_model.h"
+
+using namespace qprac;
+using namespace qprac::security;
+using attacks::blockingTbitAttack;
+using attacks::fillEscapeAttack;
+using attacks::PanopticonAttackConfig;
+using attacks::RefDrainPolicy;
+using attacks::toggleForgetAttack;
+
+namespace {
+
+void
+expectWithin(long simulated, long model, double rel_tol,
+             const std::string& what)
+{
+    double lo = static_cast<double>(model) * (1.0 - rel_tol);
+    double hi = static_cast<double>(model) * (1.0 + rel_tol);
+    EXPECT_GE(static_cast<double>(simulated), lo) << what;
+    EXPECT_LE(static_cast<double>(simulated), hi) << what;
+}
+
+} // namespace
+
+TEST(PanopticonModel, ToggleForgetMatchesSimulation)
+{
+    for (int q : {4, 8, 16}) {
+        for (int t : {6, 8, 10}) {
+            PanopticonAttackConfig cfg;
+            cfg.queue_size = q;
+            cfg.tbit = t;
+            auto sim = toggleForgetAttack(cfg);
+            long model = toggleForgetBound(q, t);
+            expectWithin(sim.target_unmitigated_acts, model, 0.25,
+                         "q=" + std::to_string(q) +
+                             " t=" + std::to_string(t));
+        }
+    }
+}
+
+TEST(PanopticonModel, FillEscapeMatchesSimulation)
+{
+    for (int q : {4, 16}) {
+        for (int m : {64, 512, 4096}) {
+            PanopticonAttackConfig cfg;
+            cfg.queue_size = q;
+            cfg.threshold = m;
+            cfg.nmit = 4;
+            cfg.ref_drain = RefDrainPolicy::OncePerService;
+            auto sim = fillEscapeAttack(cfg);
+            long model = fillEscapeBound(q, m, 4);
+            expectWithin(sim.target_unmitigated_acts, model, 0.30,
+                         "q=" + std::to_string(q) +
+                             " m=" + std::to_string(m));
+        }
+    }
+}
+
+TEST(PanopticonModel, BlockingTbitMatchesSimulation)
+{
+    for (int t : {4, 8, 10}) {
+        PanopticonAttackConfig cfg;
+        cfg.queue_size = 4;
+        cfg.tbit = t;
+        cfg.nmit = 1;
+        cfg.ref_drain = RefDrainPolicy::None;
+        auto sim = blockingTbitAttack(cfg);
+        long model = blockingTbitBound(4, t, 1);
+        expectWithin(sim.target_unmitigated_acts, model, 0.30,
+                     "t=" + std::to_string(t));
+    }
+}
+
+TEST(PanopticonModel, PaperAnchors)
+{
+    // Fig 2: >100K at Q=4; Fig 3: ~1.3K minimum at M=512;
+    // Fig 23: ~1800 at M=1024.
+    EXPECT_GT(toggleForgetBound(4, 6), 100'000);
+    EXPECT_NEAR(static_cast<double>(fillEscapeBound(4, 512, 4)), 1283.0,
+                300.0);
+    EXPECT_NEAR(static_cast<double>(blockingTbitBound(4, 10, 1)), 1800.0,
+                900.0);
+}
+
+TEST(PanopticonModel, FillEscapeIsUShaped)
+{
+    long lo = fillEscapeBound(4, 64, 4);
+    long mid = fillEscapeBound(4, 512, 4);
+    long hi = fillEscapeBound(4, 4096, 4);
+    EXPECT_GT(lo, mid);
+    EXPECT_GT(hi, mid);
+}
+
+TEST(PanopticonModel, ToggleForgetScalesInverselyWithQueue)
+{
+    long q4 = toggleForgetBound(4, 8);
+    long q16 = toggleForgetBound(16, 8);
+    // ~ B/(Q+1): quadrupling the queue shrinks the yield ~3.4x.
+    EXPECT_NEAR(static_cast<double>(q4) / static_cast<double>(q16), 3.4,
+                0.5);
+}

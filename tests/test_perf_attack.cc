@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the alert-storm performance attack (paper §VI-E, Fig 19).
+ */
+#include <gtest/gtest.h>
+
+#include "attacks/perf_attack.h"
+
+using namespace qprac;
+using attacks::bandwidthLossPct;
+using attacks::PerfAttackConfig;
+using attacks::runPerfAttack;
+using dram::RfmScope;
+
+namespace {
+
+PerfAttackConfig
+quick(int nbo, RfmScope scope, bool proactive)
+{
+    PerfAttackConfig c;
+    c.nbo = nbo;
+    c.scope = scope;
+    c.proactive = proactive;
+    c.sim_cycles = 300'000; // short but past steady state
+    return c;
+}
+
+} // namespace
+
+TEST(PerfAttack, BaselineSustainsHighActRate)
+{
+    PerfAttackConfig c = quick(32, RfmScope::AllBank, false);
+    c.mitigation_enabled = false;
+    auto r = runPerfAttack(c);
+    EXPECT_GT(r.acts, 10'000u);
+    EXPECT_EQ(r.alerts, 0u);
+}
+
+TEST(PerfAttack, SimulatedAlertStormCutsBandwidth)
+{
+    double loss = bandwidthLossPct(quick(16, RfmScope::AllBank, false));
+    // The concrete round-robin attacker is blunted by opportunistic
+    // draining but still measurably degrades bandwidth.
+    EXPECT_GT(loss, 3.0);
+}
+
+TEST(PerfAttack, SimulatedLossDecreasesWithNbo)
+{
+    double l16 = bandwidthLossPct(quick(16, RfmScope::AllBank, false));
+    double l128 = bandwidthLossPct(quick(128, RfmScope::AllBank, false));
+    EXPECT_GT(l16, l128);
+}
+
+TEST(PerfAttack, AnalyticMatchesPaperAnchorsNoProactive)
+{
+    using attacks::analyticBandwidthLossPct;
+    // Fig 19: QPRAC-RFMab loses 62% (NBO=128) to 93% (NBO=16).
+    EXPECT_NEAR(analyticBandwidthLossPct(128, RfmScope::AllBank, false),
+                62.0, 8.0);
+    EXPECT_NEAR(analyticBandwidthLossPct(16, RfmScope::AllBank, false),
+                93.0, 4.0);
+}
+
+TEST(PerfAttack, AnalyticProactiveDefeatsHighNbo)
+{
+    using attacks::analyticBandwidthLossPct;
+    // Fig 19: proactive eliminates the loss at NBO=128, keeps it small
+    // at 64, and cannot help at 32/16.
+    EXPECT_DOUBLE_EQ(
+        analyticBandwidthLossPct(128, RfmScope::AllBank, true), 0.0);
+    EXPECT_LT(analyticBandwidthLossPct(64, RfmScope::AllBank, true),
+              45.0);
+    EXPECT_GT(analyticBandwidthLossPct(32, RfmScope::AllBank, true),
+              60.0);
+}
+
+TEST(PerfAttack, AnalyticNarrowerScopesLoseLess)
+{
+    using attacks::analyticBandwidthLossPct;
+    for (int nbo : {16, 32}) {
+        double ab = analyticBandwidthLossPct(nbo, RfmScope::AllBank, true);
+        double sb =
+            analyticBandwidthLossPct(nbo, RfmScope::SameBank, true);
+        double pb = analyticBandwidthLossPct(nbo, RfmScope::PerBank, true);
+        EXPECT_GT(ab, sb) << nbo;
+        EXPECT_GT(sb, pb) << nbo;
+    }
+}
+
+TEST(PerfAttack, AnalyticMonotoneInNbo)
+{
+    using attacks::analyticBandwidthLossPct;
+    double prev = 101.0;
+    for (int nbo : {16, 32, 64, 128}) {
+        double loss =
+            analyticBandwidthLossPct(nbo, RfmScope::AllBank, false);
+        EXPECT_LT(loss, prev);
+        prev = loss;
+    }
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for FR-FCFS command selection.
+ */
+#include <gtest/gtest.h>
+
+#include "ctrl/scheduler.h"
+
+using namespace qprac;
+using ctrl::Request;
+using ctrl::RequestQueue;
+using ctrl::SchedConstraints;
+using ctrl::SchedDecision;
+using dram::DramDevice;
+using dram::Organization;
+using dram::TimingParams;
+
+namespace {
+
+Organization
+org()
+{
+    Organization o;
+    o.ranks = 1;
+    o.bankgroups = 2;
+    o.banks_per_group = 2;
+    o.rows_per_bank = 512;
+    return o;
+}
+
+Request
+read(int bank, int row, Cycle arrive)
+{
+    Request r;
+    r.type = Request::Type::Read;
+    r.flat_bank = bank;
+    r.dec.row = row;
+    r.dec.bankgroup = bank / 2;
+    r.dec.bank = bank % 2;
+    r.arrive = arrive;
+    return r;
+}
+
+SchedConstraints
+open_cons(int ranks = 1)
+{
+    SchedConstraints c;
+    c.rank_act_blocked.assign(static_cast<std::size_t>(ranks), 0);
+    return c;
+}
+
+} // namespace
+
+TEST(Scheduler, EmptyQueuePicksNothing)
+{
+    DramDevice dev(org(), TimingParams::ddr5Prac());
+    RequestQueue q(8);
+    auto d = pickFrFcfs(q, false, dev, open_cons(), 0);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::None);
+}
+
+TEST(Scheduler, ClosedBankGetsActivate)
+{
+    DramDevice dev(org(), TimingParams::ddr5Prac());
+    RequestQueue q(8);
+    q.push(read(0, 100, 0));
+    auto d = pickFrFcfs(q, false, dev, open_cons(), 0);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::Act);
+    EXPECT_EQ(d.index, 0);
+}
+
+TEST(Scheduler, RowHitPreferredOverOlderMiss)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    DramDevice dev(org(), t);
+    dev.issueAct(1, 200, 0); // open row 200 in bank 1
+    RequestQueue q(8);
+    q.push(read(0, 100, 0));  // older, needs ACT
+    q.push(read(1, 200, 1));  // younger, row hit
+    Cycle now = static_cast<Cycle>(t.tRCD);
+    auto d = pickFrFcfs(q, false, dev, open_cons(), now);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::Cas);
+    EXPECT_EQ(d.index, 1);
+}
+
+TEST(Scheduler, ConflictPrechargesWhenNoPendingHit)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    DramDevice dev(org(), t);
+    dev.issueAct(0, 300, 0);
+    RequestQueue q(8);
+    q.push(read(0, 100, 0)); // conflicts with open row 300
+    Cycle now = static_cast<Cycle>(t.tRAS);
+    auto d = pickFrFcfs(q, false, dev, open_cons(), now);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::Pre);
+}
+
+TEST(Scheduler, ConflictWaitsWhileAnotherRequestStillHits)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    DramDevice dev(org(), t);
+    dev.issueAct(0, 300, 0);
+    RequestQueue q(8);
+    q.push(read(0, 100, 0)); // conflict
+    q.push(read(0, 300, 1)); // pending hit on the open row
+    // CAS not ready yet (before tRCD): hit can't issue, but the PRE must
+    // also hold off to preserve the pending row hit.
+    Cycle now = static_cast<Cycle>(t.tRCD - 1);
+    auto d = pickFrFcfs(q, false, dev, open_cons(), now);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::None);
+}
+
+TEST(Scheduler, ActBlockedByConstraintFlag)
+{
+    DramDevice dev(org(), TimingParams::ddr5Prac());
+    RequestQueue q(8);
+    q.push(read(0, 100, 0));
+    SchedConstraints cons = open_cons();
+    cons.allow_act = false;
+    auto d = pickFrFcfs(q, false, dev, cons, 0);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::None);
+}
+
+TEST(Scheduler, ActBlockedByRankRefresh)
+{
+    DramDevice dev(org(), TimingParams::ddr5Prac());
+    RequestQueue q(8);
+    q.push(read(0, 100, 0));
+    SchedConstraints cons = open_cons();
+    cons.rank_act_blocked[0] = 1;
+    auto d = pickFrFcfs(q, false, dev, cons, 0);
+    EXPECT_EQ(d.kind, SchedDecision::Kind::None);
+}
+
+TEST(Scheduler, CasBlockedByConstraintFlag)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    DramDevice dev(org(), t);
+    dev.issueAct(0, 100, 0);
+    RequestQueue q(8);
+    q.push(read(0, 100, 0));
+    SchedConstraints cons = open_cons();
+    cons.allow_cas = false;
+    cons.allow_act = false;
+    auto d = pickFrFcfs(q, false, dev, cons,
+                        static_cast<Cycle>(t.tRCD));
+    EXPECT_EQ(d.kind, SchedDecision::Kind::None);
+}
+
+TEST(RequestQueueTest, BoundedFifoSemantics)
+{
+    RequestQueue q(2);
+    EXPECT_TRUE(q.empty());
+    q.push(read(0, 1, 0));
+    q.push(read(0, 2, 1));
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.at(0).dec.row, 1);
+    q.erase(0);
+    EXPECT_EQ(q.size(), 1);
+    EXPECT_EQ(q.at(0).dec.row, 2);
+}

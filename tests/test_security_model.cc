@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the analytical security model (paper §IV, Figs 6-8, 11-13).
+ * Anchor values come from the paper; tolerances allow for rounding in
+ * the published plots.
+ */
+#include <gtest/gtest.h>
+
+#include "security/prac_model.h"
+
+using qprac::security::PracModelConfig;
+using qprac::security::PracSecurityModel;
+
+namespace {
+
+PracSecurityModel
+prac(int nmit)
+{
+    return PracSecurityModel(PracModelConfig::prac(nmit));
+}
+
+} // namespace
+
+TEST(PracModel, NonlineAtFullPoolMatchesFig6)
+{
+    // Paper: N_online reaches 46 / 30 / 23 for PRAC-1/2/4 at R1 = 128K.
+    EXPECT_NEAR(prac(1).nOnline(128 * 1024), 46, 3);
+    EXPECT_NEAR(prac(2).nOnline(128 * 1024), 30, 3);
+    EXPECT_NEAR(prac(4).nOnline(128 * 1024), 23, 3);
+}
+
+TEST(PracModel, NonlineMonotoneInPool)
+{
+    auto m = prac(1);
+    int prev = 0;
+    for (long r1 : {100L, 1000L, 10000L, 50000L, 128L * 1024}) {
+        int n = m.nOnline(r1);
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+}
+
+TEST(PracModel, NonlineOrderedByNmit)
+{
+    // More RFMs per alert shrink the pool faster: fewer online rounds.
+    for (long r1 : {5000L, 50000L}) {
+        EXPECT_GT(prac(1).nOnline(r1), prac(2).nOnline(r1));
+        EXPECT_GT(prac(2).nOnline(r1), prac(4).nOnline(r1));
+    }
+}
+
+TEST(PracModel, MaxR1ShrinksWithNbo)
+{
+    // Fig 7: setup time dominates at higher NBO.
+    auto m = prac(1);
+    long prev = m.maxR1(1);
+    EXPECT_GT(prev, 30'000); // tens of thousands at NBO=1
+    for (int nbo : {2, 4, 8, 16, 32, 64, 128, 256}) {
+        long r1 = m.maxR1(nbo);
+        EXPECT_LE(r1, prev);
+        prev = r1;
+    }
+    EXPECT_NEAR(static_cast<double>(m.maxR1(256)), 2000.0, 600.0);
+}
+
+TEST(PracModel, SecureTrhMatchesFig8Anchors)
+{
+    // Paper: at NBO=1, PRAC-1/2/4 secure at TRH 44 / 29 / 22.
+    // Tolerances of 2-3: the paper leaves the exact termination of the
+    // Eq. 3 recursion unspecified, which shifts TRH by a few ACTs.
+    EXPECT_NEAR(prac(1).secureTrh(1), 44, 2);
+    EXPECT_NEAR(prac(2).secureTrh(1), 29, 2);
+    EXPECT_NEAR(prac(4).secureTrh(1), 22, 3);
+    // At NBO=256: 289 / 279 / 274.
+    EXPECT_NEAR(prac(1).secureTrh(256), 289, 5);
+    EXPECT_NEAR(prac(2).secureTrh(256), 279, 5);
+    EXPECT_NEAR(prac(4).secureTrh(256), 274, 5);
+}
+
+TEST(PracModel, DefaultNboMatchesAbstract)
+{
+    // "QPRAC with an NBO of 32 and one mitigation per Alert securely
+    //  handles a TRH of 71."
+    EXPECT_NEAR(prac(1).secureTrh(32), 71, 3);
+    // Fig 13 companions: 58 and 52 for PRAC-2/4.
+    EXPECT_NEAR(prac(2).secureTrh(32), 58, 3);
+    EXPECT_NEAR(prac(4).secureTrh(32), 52, 3);
+}
+
+TEST(PracModel, ProactiveImprovesTrh)
+{
+    for (int nmit : {1, 2, 4}) {
+        PracSecurityModel base(PracModelConfig::prac(nmit));
+        PracSecurityModel pro(PracModelConfig::qpracProactive(nmit));
+        for (int nbo : {1, 8, 32, 64}) {
+            EXPECT_LE(pro.secureTrh(nbo), base.secureTrh(nbo))
+                << "nmit=" << nmit << " nbo=" << nbo;
+        }
+    }
+}
+
+TEST(PracModel, ProactiveAnchorsFromFig13)
+{
+    // Paper: with proactive mitigation, NBO=1 gives 40 / 27 / 20 and
+    // NBO=32 gives 66 / 55 / 50.
+    PracSecurityModel p1(PracModelConfig::qpracProactive(1));
+    PracSecurityModel p2(PracModelConfig::qpracProactive(2));
+    PracSecurityModel p4(PracModelConfig::qpracProactive(4));
+    EXPECT_NEAR(p1.secureTrh(1), 40, 3);
+    EXPECT_NEAR(p2.secureTrh(1), 27, 3);
+    EXPECT_NEAR(p4.secureTrh(1), 20, 4);
+    EXPECT_NEAR(p1.secureTrh(32), 66, 4);
+    EXPECT_NEAR(p2.secureTrh(32), 55, 4);
+    EXPECT_NEAR(p4.secureTrh(32), 50, 4);
+}
+
+TEST(PracModel, ProactiveDefeatsSetupAtHighNbo)
+{
+    // Fig 11: at NBO >= 128 every setup row is proactively mitigated
+    // before reaching NBO-1 — the attack pool collapses to zero.
+    PracSecurityModel pro(PracModelConfig::qpracProactive(1));
+    EXPECT_EQ(pro.maxR1(128), 0);
+    EXPECT_EQ(pro.maxR1(256), 0);
+    EXPECT_GT(pro.maxR1(8), 0);
+}
+
+TEST(PracModel, EnergyAwareBetweenBaseAndProactive)
+{
+    // §IV-C: EA proactive achieves security between QPRAC and
+    // QPRAC+Proactive.
+    int nbo = 32;
+    PracSecurityModel base(PracModelConfig::prac(1));
+    PracSecurityModel ea(
+        PracModelConfig::qpracProactiveEa(1, nbo, nbo / 2));
+    PracSecurityModel pro(PracModelConfig::qpracProactive(1));
+    EXPECT_LE(pro.secureTrh(nbo), ea.secureTrh(nbo));
+    EXPECT_LE(ea.secureTrh(nbo), base.secureTrh(nbo));
+}
+
+TEST(PracModel, SecureTrhIncreasesWithNbo)
+{
+    auto m = prac(1);
+    int prev = 0;
+    for (int nbo : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+        int trh = m.secureTrh(nbo);
+        EXPECT_GT(trh, prev);
+        prev = trh;
+    }
+}
+
+TEST(PracModel, MaxNboForTrhInvertsSecureTrh)
+{
+    auto m = prac(1);
+    for (int trh : {64, 128, 256, 512}) {
+        int nbo = m.maxNboForTrh(trh);
+        ASSERT_GT(nbo, 0);
+        EXPECT_LE(m.secureTrh(nbo), trh);
+        EXPECT_GT(m.secureTrh(nbo + 1), trh);
+    }
+}
+
+TEST(PracModel, ActsPerTrefiMatchesPaper)
+{
+    // Paper §IV-C1: M = A / 67 — i.e. 67 activations per tREFI.
+    PracModelConfig cfg = PracModelConfig::prac(1);
+    EXPECT_NEAR(cfg.actsPerTrefi(), 67.0, 1.0);
+}
+
+/** Parameterized sweep: the recursion always terminates, N_online sane. */
+class PracModelSweep
+    : public ::testing::TestWithParam<std::tuple<int, long>>
+{
+};
+
+TEST_P(PracModelSweep, OnlinePhaseTerminatesWithSaneBounds)
+{
+    auto [nmit, r1] = GetParam();
+    auto res = prac(nmit).onlinePhase(r1);
+    EXPECT_GT(res.rounds, 0);
+    EXPECT_LT(res.rounds, 2000);
+    EXPECT_GE(res.n_online, nmit + 3 + 2); // floor: ABO terms + BR
+    EXPECT_LT(res.n_online, 200);
+    EXPECT_GT(res.time_ns, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PracModelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(16L, 256L, 4096L, 65536L,
+                                         131072L)));

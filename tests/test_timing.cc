@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for DDR5/PRAC timing parameters (paper Tables I & II).
+ */
+#include <gtest/gtest.h>
+
+#include "dram/timing.h"
+
+using qprac::dram::TimingParams;
+
+TEST(Timing, NsToCyclesRoundsUp)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    EXPECT_EQ(t.nsToCycles(0.3125), 1);
+    EXPECT_EQ(t.nsToCycles(0.4), 2);
+    EXPECT_EQ(t.nsToCycles(52.0), 167); // tRC: 52ns * 3.2 = 166.4 -> 167
+}
+
+TEST(Timing, CyclesToNsInverse)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    EXPECT_NEAR(t.cyclesToNs(3200), 1000.0, 1e-6);
+}
+
+TEST(Timing, PracPresetMatchesPaperTable2)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    EXPECT_EQ(t.tRCD, t.nsToCycles(16));
+    EXPECT_EQ(t.tCL, t.nsToCycles(16));
+    EXPECT_EQ(t.tRAS, t.nsToCycles(16));
+    EXPECT_EQ(t.tRP, t.nsToCycles(36));
+    EXPECT_NEAR(t.tRC, t.nsToCycles(52), 1); // per-field rounding
+    EXPECT_EQ(t.tRFC, t.nsToCycles(410));
+    EXPECT_EQ(t.tREFI, t.nsToCycles(3900));
+    EXPECT_EQ(t.tRFMab, t.nsToCycles(350));
+    EXPECT_EQ(t.tABO_window, t.nsToCycles(180));
+    EXPECT_EQ(t.abo_act_max, 3);
+    EXPECT_EQ(t.tRC, t.tRAS + t.tRP);
+}
+
+TEST(Timing, NoPracPresetHasShorterRowCycle)
+{
+    TimingParams prac = TimingParams::ddr5Prac();
+    TimingParams plain = TimingParams::ddr5NoPrac();
+    // PRAC lengthens precharge for the counter update: tRC 52ns vs 48ns.
+    EXPECT_LT(plain.tRC, prac.tRC);
+    EXPECT_GT(plain.tRAS, prac.tRAS);
+    EXPECT_LT(plain.tRP, prac.tRP);
+    EXPECT_EQ(plain.tRC, plain.tRAS + plain.tRP);
+}
+
+TEST(Timing, ActBudgetNearPaper550K)
+{
+    // Paper §V: "Within a 32ms refresh window, a single bank can undergo
+    // up to approximately 550K activations."
+    TimingParams t = TimingParams::ddr5Prac();
+    long budget = t.actBudgetPerTrefw();
+    EXPECT_GT(budget, 500'000);
+    EXPECT_LT(budget, 600'000);
+}
+
+TEST(Timing, TrefwCycles)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    // 32 ms at 3200 MHz = 102.4M cycles.
+    EXPECT_EQ(t.trefwCycles(), 102'400'000u);
+}
+
+TEST(Timing, RefreshCadenceCoversWindow)
+{
+    TimingParams t = TimingParams::ddr5Prac();
+    // ~8192 REFs fit in one tREFW (3.9us * 8192 ~= 32ms).
+    double refs = static_cast<double>(t.trefwCycles()) / t.tREFI;
+    EXPECT_NEAR(refs, 8205, 30);
+}

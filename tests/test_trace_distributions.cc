@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Statistical tests of the synthetic trace generator: the knobs that
+ * DESIGN.md's scaled-simulation methodology depends on must actually
+ * produce the distributions they promise.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cpu/trace.h"
+#include "sim/workloads.h"
+
+using namespace qprac;
+using cpu::SyntheticStreamParams;
+using cpu::SyntheticTraceSource;
+using cpu::TraceEntry;
+
+namespace {
+
+SyntheticStreamParams
+base()
+{
+    SyntheticStreamParams p;
+    p.mem_per_kilo = 200;
+    p.hit_frac = 0.0; // every access in the miss stream
+    p.seed = 42;
+    return p;
+}
+
+} // namespace
+
+TEST(TraceDistributions, SequentialFractionControlsRowLocality)
+{
+    SyntheticStreamParams p = base();
+    p.hot_row_frac = 0.0;
+    p.seq_frac = 0.9;
+    p.footprint_lines = 1 << 20;
+    SyntheticTraceSource src(p);
+    TraceEntry e;
+    Addr prev = 0;
+    int sequential = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        src.next(e);
+        if (prev != 0 && e.addr == prev + 64)
+            ++sequential;
+        prev = e.addr;
+    }
+    EXPECT_NEAR(sequential / static_cast<double>(n), 0.9, 0.03);
+}
+
+TEST(TraceDistributions, HotRowTailReceivesConfiguredShare)
+{
+    SyntheticStreamParams p = base();
+    p.hot_row_frac = 0.15;
+    p.hot_row_count = 64;
+    p.hot_lines = 1024;
+    SyntheticTraceSource src(p);
+    TraceEntry e;
+    const Addr region_start = p.hot_lines * 64;
+    const Addr region_end =
+        region_start + static_cast<Addr>(p.hot_row_count) * 128 * 64;
+    int in_tail = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        src.next(e);
+        if (e.addr >= region_start && e.addr < region_end)
+            ++in_tail;
+    }
+    EXPECT_NEAR(in_tail / static_cast<double>(n), 0.15, 0.02);
+}
+
+TEST(TraceDistributions, HotRowVisitsSpreadAcrossRows)
+{
+    SyntheticStreamParams p = base();
+    p.hot_row_frac = 1.0; // only the tail, for a clean histogram
+    p.hot_row_count = 32;
+    p.hot_lines = 0;
+    p.hot_lines = 64; // keep a nonzero pool (never hit: hit_frac 0)
+    SyntheticTraceSource src(p);
+    TraceEntry e;
+    std::map<Addr, int> per_row;
+    for (int i = 0; i < 32000; ++i) {
+        src.next(e);
+        per_row[(e.addr / 64 - 64) / 128] += 1;
+    }
+    ASSERT_EQ(per_row.size(), 32u); // all rows visited
+    for (const auto& [row, visits] : per_row)
+        EXPECT_NEAR(visits, 1000, 200) << "row " << row;
+}
+
+TEST(TraceDistributions, FootprintScalingClampsToDeclaredSize)
+{
+    using sim::findWorkload;
+    // A tiny instruction budget must still give a >=4MB pool; a huge one
+    // must not exceed the declared footprint.
+    auto& wl = findWorkload("429.mcf");
+    auto small = sim::makeTrace(wl, 0, 1'000);
+    auto large = sim::makeTrace(wl, 0, 2'000'000'000);
+    cpu::TraceEntry e;
+    Addr max_small = 0, max_large = 0;
+    for (int i = 0; i < 30000; ++i) {
+        small->next(e);
+        max_small = std::max(max_small, e.addr);
+        large->next(e);
+        max_large = std::max(max_large, e.addr);
+    }
+    EXPECT_GE(max_small, 4ull * 1024 * 1024 / 2); // ~4MB pool reachable
+    // Declared footprint for mcf is 1024MB (plus pools).
+    EXPECT_LE(max_large, 1100ull * 1024 * 1024);
+    EXPECT_GT(max_large, 100ull * 1024 * 1024);
+}
+
+TEST(TraceDistributions, WarmupCoversExactlyTheHotPool)
+{
+    SyntheticStreamParams p = base();
+    p.hot_lines = 512;
+    p.base_addr = 1ull << 30;
+    SyntheticTraceSource src(p);
+    std::vector<Addr> warm;
+    src.warmupAddrs(warm);
+    ASSERT_EQ(warm.size(), 512u);
+    std::set<Addr> unique(warm.begin(), warm.end());
+    EXPECT_EQ(unique.size(), 512u);
+    for (Addr a : warm) {
+        EXPECT_GE(a, p.base_addr);
+        EXPECT_LT(a, p.base_addr + 512 * 64);
+    }
+}
+
+TEST(TraceDistributions, BubbleJitterPreservesMeanRate)
+{
+    SyntheticStreamParams p = base();
+    p.mem_per_kilo = 40; // mean 24 bubbles per memory op
+    SyntheticTraceSource src(p);
+    TraceEntry e;
+    std::uint64_t bubbles = 0;
+    const int n = 30000;
+    std::uint64_t min_b = ~0ull, max_b = 0;
+    for (int i = 0; i < n; ++i) {
+        src.next(e);
+        bubbles += e.bubbles;
+        min_b = std::min<std::uint64_t>(min_b, e.bubbles);
+        max_b = std::max<std::uint64_t>(max_b, e.bubbles);
+    }
+    double mean_bubbles = static_cast<double>(bubbles) / n;
+    EXPECT_NEAR(mean_bubbles, 1000.0 / 40.0 - 1.0, 0.5);
+    EXPECT_LT(min_b, 16u); // jitter reaches low...
+    EXPECT_GT(max_b, 30u); // ...and high values
+}

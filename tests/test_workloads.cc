@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the 57-workload synthetic suite (paper §V substitution).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/workloads.h"
+
+using namespace qprac;
+using sim::findWorkload;
+using sim::makeTrace;
+using sim::Workload;
+using sim::workloadSuite;
+
+TEST(Workloads, ExactlyFiftySeven)
+{
+    EXPECT_EQ(workloadSuite().size(), 57u);
+}
+
+TEST(Workloads, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto& w : workloadSuite())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+TEST(Workloads, SuitesMatchPaperMix)
+{
+    std::map<std::string, int> counts;
+    for (const auto& w : workloadSuite())
+        ++counts[w.suite];
+    EXPECT_EQ(counts["SPEC2006"], 23);
+    EXPECT_EQ(counts["SPEC2017"], 18);
+    EXPECT_EQ(counts["TPC"], 4);
+    EXPECT_EQ(counts["Hadoop"], 3);
+    EXPECT_EQ(counts["Media"], 3);
+    EXPECT_EQ(counts["YCSB"], 6);
+}
+
+TEST(Workloads, ParametersAreValid)
+{
+    for (const auto& w : workloadSuite()) {
+        EXPECT_GT(w.mem_per_kilo, 0.0) << w.name;
+        EXPECT_GT(w.miss_per_kilo, 0.0) << w.name;
+        EXPECT_LE(w.miss_per_kilo, w.mem_per_kilo) << w.name;
+        EXPECT_GE(w.seq_frac, 0.0);
+        EXPECT_LE(w.seq_frac, 1.0);
+        EXPECT_GE(w.store_frac, 0.0);
+        EXPECT_LE(w.store_frac, 0.6);
+    }
+}
+
+TEST(Workloads, IntensityDistributionResemblesPaper)
+{
+    // The paper splits workloads at >= 2 row-buffer misses per kilo
+    // instruction; a substantial fraction must land on each side.
+    int intensive = 0;
+    for (const auto& w : workloadSuite())
+        if (w.expectedRbmpki() >= 2.0)
+            ++intensive;
+    EXPECT_GE(intensive, 20);
+    EXPECT_LE(intensive, 40);
+}
+
+TEST(Workloads, McfAndParestAreTheHeavyOnes)
+{
+    // 510.parest has the worst NoOp slowdown in Fig 14; mcf is cited as
+    // memory-intensive. Their RBMPKI must be near the top of the suite.
+    double parest = findWorkload("510.parest_r").expectedRbmpki();
+    double mcf = findWorkload("429.mcf").expectedRbmpki();
+    int higher_than_parest = 0;
+    for (const auto& w : workloadSuite())
+        if (w.expectedRbmpki() > parest)
+            ++higher_than_parest;
+    EXPECT_EQ(higher_than_parest, 0);
+    EXPECT_GT(mcf, 20.0);
+}
+
+TEST(Workloads, MakeTraceIsDeterministicPerCore)
+{
+    const Workload& w = findWorkload("429.mcf");
+    auto a = makeTrace(w, 0);
+    auto b = makeTrace(w, 0);
+    cpu::TraceEntry ea, eb;
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(a->next(ea));
+        ASSERT_TRUE(b->next(eb));
+        ASSERT_EQ(ea.addr, eb.addr);
+    }
+}
+
+TEST(Workloads, CoresUseDisjointQuadrants)
+{
+    const Workload& w = findWorkload("429.mcf");
+    auto c0 = makeTrace(w, 0);
+    auto c1 = makeTrace(w, 1);
+    cpu::TraceEntry e;
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(c0->next(e));
+        EXPECT_LT(e.addr, 1ull << 34);
+        ASSERT_TRUE(c1->next(e));
+        EXPECT_GE(e.addr, 1ull << 34);
+        EXPECT_LT(e.addr, 2ull << 34);
+    }
+}
+
+TEST(Workloads, FindUnknownWorkloadDies)
+{
+    EXPECT_DEATH(findWorkload("no-such-workload"), "unknown workload");
+}
