@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Coalescing service queue (CnC-PRAC-style, see PAPERS.md).
+ *
+ * Repeated activations of the same row are the common case in real
+ * traffic (open-page hits, tight hammer loops). Instead of presenting
+ * every ACT to the main CAM, this backend coalesces activation counts in
+ * a small staging window first: an ACT whose row is already staged just
+ * refreshes the staged count, costing no CAM insertion bandwidth. The
+ * window drains into the main queue (hottest first) when it fills or
+ * when a conflict forces it.
+ *
+ * Security is preserved because staged rows are still tracked: top(),
+ * maxCount(), contains() and remove() see the union of the window and
+ * the main queue, so a staged row can be mitigated and can never hide.
+ * The window only defers *insertion work*, never visibility.
+ */
+#ifndef QPRAC_CORE_COALESCING_QUEUE_H
+#define QPRAC_CORE_COALESCING_QUEUE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/psq.h"
+#include "core/service_queue.h"
+
+namespace qprac::core {
+
+/** A coalescing window in front of a LinearCamQueue. */
+class CoalescingQueue final : public ServiceQueueBackend
+{
+  public:
+    /**
+     * @param capacity main-queue entries (the PSQ size)
+     * @param window staging entries coalescing repeated ACTs (default 4)
+     */
+    explicit CoalescingQueue(int capacity, int window = kDefaultWindow);
+
+    static constexpr int kDefaultWindow = 4;
+
+    PsqInsert onActivate(int row, ActCount count) override;
+    const SqEntry* top() const override;
+    ActCount minCount() const override;
+    ActCount maxCount() const override;
+    bool remove(int row) override;
+    bool contains(int row) const override;
+    ActCount countOf(int row) const override;
+
+    /** Tracked rows across window + main queue. */
+    int size() const override;
+    int capacity() const override;
+    std::vector<SqEntry> snapshot() const override;
+
+    /** Drain the staging window into the main queue (hottest first). */
+    void drain();
+
+    /** ACTs absorbed by the window without a main-queue operation. */
+    std::uint64_t coalescedActs() const { return coalesced_; }
+
+    int windowSize() const { return static_cast<int>(window_.size()); }
+
+  private:
+    int findStaged(int row) const;
+
+    LinearCamQueue main_;
+    std::vector<SqEntry> window_;
+    int window_capacity_;
+    std::uint64_t coalesced_ = 0;
+    mutable SqEntry top_scratch_;
+};
+
+} // namespace qprac::core
+
+#endif // QPRAC_CORE_COALESCING_QUEUE_H

@@ -1,0 +1,152 @@
+#include "core/heap_queue.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace qprac::core {
+
+HeapQueue::HeapQueue(int capacity) : capacity_(capacity)
+{
+    QP_ASSERT(capacity >= 1, "PSQ capacity must be at least 1");
+    heap_.reserve(static_cast<std::size_t>(capacity));
+    slots_.reserve(static_cast<std::size_t>(capacity) * 2);
+}
+
+void
+HeapQueue::siftUp(int i)
+{
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (!lessMin(heap_[static_cast<std::size_t>(i)],
+                     heap_[static_cast<std::size_t>(parent)]))
+            break;
+        std::swap(heap_[static_cast<std::size_t>(i)],
+                  heap_[static_cast<std::size_t>(parent)]);
+        slots_[heap_[static_cast<std::size_t>(i)].row] = i;
+        slots_[heap_[static_cast<std::size_t>(parent)].row] = parent;
+        i = parent;
+    }
+}
+
+void
+HeapQueue::siftDown(int i)
+{
+    const int n = size();
+    while (true) {
+        int smallest = i;
+        int left = 2 * i + 1;
+        int right = 2 * i + 2;
+        if (left < n && lessMin(heap_[static_cast<std::size_t>(left)],
+                                heap_[static_cast<std::size_t>(smallest)]))
+            smallest = left;
+        if (right < n && lessMin(heap_[static_cast<std::size_t>(right)],
+                                 heap_[static_cast<std::size_t>(smallest)]))
+            smallest = right;
+        if (smallest == i)
+            break;
+        std::swap(heap_[static_cast<std::size_t>(i)],
+                  heap_[static_cast<std::size_t>(smallest)]);
+        slots_[heap_[static_cast<std::size_t>(i)].row] = i;
+        slots_[heap_[static_cast<std::size_t>(smallest)].row] = smallest;
+        i = smallest;
+    }
+}
+
+PsqInsert
+HeapQueue::onActivate(int row, ActCount count)
+{
+    auto it = slots_.find(row);
+    if (it != slots_.end()) {
+        // Row already tracked: synchronize with the in-DRAM count. The
+        // count normally only grows, but sift both ways to stay correct
+        // for arbitrary updates.
+        int i = it->second;
+        heap_[static_cast<std::size_t>(i)].count = count;
+        siftDown(i);
+        siftUp(slots_[row]);
+        return PsqInsert::Hit;
+    }
+    if (size() < capacity_) {
+        heap_.push_back({row, count, next_seq_++});
+        slots_[row] = size() - 1;
+        siftUp(size() - 1);
+        return PsqInsert::Inserted;
+    }
+    // Full: strictly-higher-than-minimum admission (paper §III-B2); the
+    // heap root is exactly the canonical eviction victim.
+    if (count <= heap_[0].count)
+        return PsqInsert::Rejected;
+    slots_.erase(heap_[0].row);
+    heap_[0] = {row, count, next_seq_++};
+    slots_[row] = 0;
+    siftDown(0);
+    return PsqInsert::Evicted;
+}
+
+const SqEntry*
+HeapQueue::top() const
+{
+    if (heap_.empty())
+        return nullptr;
+    const SqEntry* best = &heap_[0];
+    for (const SqEntry& e : heap_)
+        if (e.count > best->count ||
+            (e.count == best->count && e.seq < best->seq))
+            best = &e;
+    return best;
+}
+
+ActCount
+HeapQueue::minCount() const
+{
+    if (size() < capacity_)
+        return 0;
+    return heap_[0].count;
+}
+
+ActCount
+HeapQueue::maxCount() const
+{
+    const SqEntry* t = top();
+    return t ? t->count : 0;
+}
+
+bool
+HeapQueue::remove(int row)
+{
+    auto it = slots_.find(row);
+    if (it == slots_.end())
+        return false;
+    int i = it->second;
+    slots_.erase(it);
+    int last = size() - 1;
+    if (i != last) {
+        heap_[static_cast<std::size_t>(i)] =
+            heap_[static_cast<std::size_t>(last)];
+        slots_[heap_[static_cast<std::size_t>(i)].row] = i;
+    }
+    heap_.pop_back();
+    if (i < size()) {
+        siftDown(i);
+        siftUp(slots_[heap_[static_cast<std::size_t>(i)].row]);
+    }
+    return true;
+}
+
+bool
+HeapQueue::contains(int row) const
+{
+    return slots_.count(row) != 0;
+}
+
+ActCount
+HeapQueue::countOf(int row) const
+{
+    auto it = slots_.find(row);
+    return it != slots_.end()
+               ? heap_[static_cast<std::size_t>(it->second)].count
+               : 0;
+}
+
+} // namespace qprac::core

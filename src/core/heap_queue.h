@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Heap-backed service queue for large-queue sweeps.
+ *
+ * The paper's PSQ is a 5-entry CAM where linear scans are the right
+ * hardware answer; software sweeps over hundreds of entries (e.g.
+ * bench/fig17_psq_size.cc at scale, or PRACtical-style per-bank recovery
+ * queues) make every ACT an O(capacity) scan. This backend keeps the
+ * exact same insertion semantics but pays O(1) for membership (hash map
+ * row→slot) and O(log n) for eviction (binary min-heap ordered by
+ * (count, seq)), with the canonical tie-breaks of service_queue.h.
+ *
+ * top()/maxCount() remain O(n) scans: they run on RFM/REF opportunities,
+ * which are orders of magnitude rarer than ACTs.
+ */
+#ifndef QPRAC_CORE_HEAP_QUEUE_H
+#define QPRAC_CORE_HEAP_QUEUE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/service_queue.h"
+
+namespace qprac::core {
+
+/** Binary min-heap + row→slot index map; decision-equivalent to the CAM. */
+class HeapQueue final : public ServiceQueueBackend
+{
+  public:
+    explicit HeapQueue(int capacity);
+
+    PsqInsert onActivate(int row, ActCount count) override;
+    const SqEntry* top() const override;
+    ActCount minCount() const override;
+    ActCount maxCount() const override;
+    bool remove(int row) override;
+    bool contains(int row) const override;
+    ActCount countOf(int row) const override;
+    int size() const override { return static_cast<int>(heap_.size()); }
+    int capacity() const override { return capacity_; }
+    std::vector<SqEntry> snapshot() const override { return heap_; }
+
+  private:
+    /** Min-heap order: lowest count first, ties toward the oldest entry. */
+    static bool lessMin(const SqEntry& a, const SqEntry& b)
+    {
+        return a.count < b.count || (a.count == b.count && a.seq < b.seq);
+    }
+
+    void siftUp(int i);
+    void siftDown(int i);
+
+    int capacity_;
+    std::vector<SqEntry> heap_;          ///< heap array, heap_[0] = min
+    std::unordered_map<int, int> slots_; ///< row → heap index
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace qprac::core
+
+#endif // QPRAC_CORE_HEAP_QUEUE_H

@@ -4,14 +4,14 @@
 
 namespace qprac::core {
 
-PriorityServiceQueue::PriorityServiceQueue(int capacity)
+LinearCamQueue::LinearCamQueue(int capacity)
     : entries_(static_cast<std::size_t>(capacity))
 {
     QP_ASSERT(capacity >= 1, "PSQ capacity must be at least 1");
 }
 
 int
-PriorityServiceQueue::findRow(int row) const
+LinearCamQueue::findRow(int row) const
 {
     for (int i = 0; i < size_; ++i)
         if (entries_[static_cast<std::size_t>(i)].row == row)
@@ -20,19 +20,23 @@ PriorityServiceQueue::findRow(int row) const
 }
 
 int
-PriorityServiceQueue::findMin() const
+LinearCamQueue::findMin() const
 {
     QP_ASSERT(size_ > 0, "findMin on empty PSQ");
+    // Canonical tie-break (see service_queue.h): lowest count, then
+    // oldest entry — so every backend evicts the same victim.
     int best = 0;
-    for (int i = 1; i < size_; ++i)
-        if (entries_[static_cast<std::size_t>(i)].count <
-            entries_[static_cast<std::size_t>(best)].count)
+    for (int i = 1; i < size_; ++i) {
+        const Entry& e = entries_[static_cast<std::size_t>(i)];
+        const Entry& b = entries_[static_cast<std::size_t>(best)];
+        if (e.count < b.count || (e.count == b.count && e.seq < b.seq))
             best = i;
+    }
     return best;
 }
 
 PsqInsert
-PriorityServiceQueue::onActivate(int row, ActCount count)
+LinearCamQueue::onActivate(int row, ActCount count)
 {
     int idx = findRow(row);
     if (idx >= 0) {
@@ -41,34 +45,38 @@ PriorityServiceQueue::onActivate(int row, ActCount count)
         return PsqInsert::Hit;
     }
     if (size_ < capacity()) {
-        entries_[static_cast<std::size_t>(size_++)] = {row, count};
+        entries_[static_cast<std::size_t>(size_++)] = {row, count,
+                                                       next_seq_++};
         return PsqInsert::Inserted;
     }
     // Priority-based insertion: only displace the minimum if the new
     // count is strictly higher (paper §III-B2).
     int min_idx = findMin();
     if (count > entries_[static_cast<std::size_t>(min_idx)].count) {
-        entries_[static_cast<std::size_t>(min_idx)] = {row, count};
+        entries_[static_cast<std::size_t>(min_idx)] = {row, count,
+                                                       next_seq_++};
         return PsqInsert::Evicted;
     }
     return PsqInsert::Rejected;
 }
 
-const PriorityServiceQueue::Entry*
-PriorityServiceQueue::top() const
+const LinearCamQueue::Entry*
+LinearCamQueue::top() const
 {
     if (size_ == 0)
         return nullptr;
     int best = 0;
-    for (int i = 1; i < size_; ++i)
-        if (entries_[static_cast<std::size_t>(i)].count >
-            entries_[static_cast<std::size_t>(best)].count)
+    for (int i = 1; i < size_; ++i) {
+        const Entry& e = entries_[static_cast<std::size_t>(i)];
+        const Entry& b = entries_[static_cast<std::size_t>(best)];
+        if (e.count > b.count || (e.count == b.count && e.seq < b.seq))
             best = i;
+    }
     return &entries_[static_cast<std::size_t>(best)];
 }
 
 ActCount
-PriorityServiceQueue::minCount() const
+LinearCamQueue::minCount() const
 {
     if (size_ < capacity())
         return 0;
@@ -76,14 +84,14 @@ PriorityServiceQueue::minCount() const
 }
 
 ActCount
-PriorityServiceQueue::maxCount() const
+LinearCamQueue::maxCount() const
 {
     const Entry* t = top();
     return t ? t->count : 0;
 }
 
 bool
-PriorityServiceQueue::remove(int row)
+LinearCamQueue::remove(int row)
 {
     int idx = findRow(row);
     if (idx < 0)
@@ -95,26 +103,26 @@ PriorityServiceQueue::remove(int row)
 }
 
 bool
-PriorityServiceQueue::contains(int row) const
+LinearCamQueue::contains(int row) const
 {
     return findRow(row) >= 0;
 }
 
 ActCount
-PriorityServiceQueue::countOf(int row) const
+LinearCamQueue::countOf(int row) const
 {
     int idx = findRow(row);
     return idx >= 0 ? entries_[static_cast<std::size_t>(idx)].count : 0;
 }
 
-std::vector<PriorityServiceQueue::Entry>
-PriorityServiceQueue::snapshot() const
+std::vector<LinearCamQueue::Entry>
+LinearCamQueue::snapshot() const
 {
     return {entries_.begin(), entries_.begin() + size_};
 }
 
 int
-PriorityServiceQueue::storageBits(int capacity, int row_bits, int ctr_bits)
+LinearCamQueue::storageBits(int capacity, int row_bits, int ctr_bits)
 {
     return capacity * (row_bits + ctr_bits);
 }

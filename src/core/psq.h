@@ -1,6 +1,6 @@
 /**
  * @file
- * Priority-based Service Queue (PSQ) — the core of QPRAC (paper §III-B).
+ * Linear-scan CAM service queue — the core of QPRAC (paper §III-B).
  *
  * A small per-bank CAM tracking (RowID, activation count) pairs, using
  * the count as the priority. Unlike a FIFO service queue, the PSQ is
@@ -8,6 +8,11 @@
  * exceeds the queue's minimum is always inserted (displacing the
  * minimum), so heavily activated rows can never bypass the queue — the
  * property that defeats the Fill+Escape attack.
+ *
+ * This is the default ServiceQueueBackend; every operation is a linear
+ * scan over at most a handful of entries, mirroring the 5-entry CAM the
+ * paper synthesizes (15 bytes per bank). For large-queue sweeps see
+ * HeapQueue; for insertion-bandwidth reduction see CoalescingQueue.
  */
 #ifndef QPRAC_CORE_PSQ_H
 #define QPRAC_CORE_PSQ_H
@@ -15,64 +20,46 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/service_queue.h"
 
 namespace qprac::core {
 
-/** Outcome of presenting an activation to the PSQ. */
-enum class PsqInsert
-{
-    Hit,      ///< row already present; count updated in place
-    Inserted, ///< row inserted into a free slot
-    Evicted,  ///< row inserted, displacing the lowest-count entry
-    Rejected, ///< count not higher than the queue minimum; not inserted
-};
-
-/**
- * Fixed-capacity priority queue over (row, count). Operations are linear
- * scans over at most a handful of entries, mirroring the 5-entry CAM the
- * paper synthesizes (15 bytes per bank).
- */
-class PriorityServiceQueue
+/** Fixed-capacity priority queue over (row, count), linear-scan CAM. */
+class LinearCamQueue final : public ServiceQueueBackend
 {
   public:
-    struct Entry
-    {
-        int row = kNoRow;
-        ActCount count = 0;
-    };
+    using Entry = SqEntry;
 
-    explicit PriorityServiceQueue(int capacity);
+    explicit LinearCamQueue(int capacity);
 
     /**
      * Present an activation of @p row with post-increment PRAC count
      * @p count (paper §III-B2 insertion policy).
      */
-    PsqInsert onActivate(int row, ActCount count);
+    PsqInsert onActivate(int row, ActCount count) override;
 
-    /** Highest-count entry, or nullptr when empty. */
-    const Entry* top() const;
+    /** Highest-count entry (ties: oldest entry), or nullptr when empty. */
+    const Entry* top() const override;
 
     /** Lowest count currently tracked (0 when not full). */
-    ActCount minCount() const;
+    ActCount minCount() const override;
 
     /** Highest count currently tracked (0 when empty). */
-    ActCount maxCount() const;
+    ActCount maxCount() const override;
 
     /** Remove @p row if present; returns true if removed. */
-    bool remove(int row);
+    bool remove(int row) override;
 
-    bool contains(int row) const;
+    bool contains(int row) const override;
 
     /** Count stored for @p row (0 if absent). */
-    ActCount countOf(int row) const;
+    ActCount countOf(int row) const override;
 
-    bool empty() const { return size_ == 0; }
-    bool full() const { return size_ == capacity(); }
-    int size() const { return size_; }
-    int capacity() const { return static_cast<int>(entries_.size()); }
+    int size() const override { return size_; }
+    int capacity() const override { return static_cast<int>(entries_.size()); }
 
     /** Live entries (unordered), for tests and debugging. */
-    std::vector<Entry> snapshot() const;
+    std::vector<Entry> snapshot() const override;
 
     /** Storage cost in bits for @p row_bits-wide rows and @p ctr_bits. */
     static int storageBits(int capacity, int row_bits, int ctr_bits);
@@ -83,7 +70,11 @@ class PriorityServiceQueue
 
     std::vector<Entry> entries_;
     int size_ = 0;
+    std::uint64_t next_seq_ = 0;
 };
+
+/** Historical name for the default backend. */
+using PriorityServiceQueue = LinearCamQueue;
 
 } // namespace qprac::core
 

@@ -1,5 +1,7 @@
 #include "core/qprac.h"
 
+#include <type_traits>
+
 #include "common/log.h"
 #include "dram/prac_counters.h"
 
@@ -8,16 +10,40 @@ namespace qprac::core {
 std::string
 QpracConfig::label() const
 {
-    if (ideal)
-        return "QPRAC-Ideal";
-    if (!opportunistic)
-        return "QPRAC-NoOp";
-    switch (proactive) {
-      case ProactiveMode::None: return "QPRAC";
-      case ProactiveMode::EveryRef: return "QPRAC+Proactive";
-      case ProactiveMode::EnergyAware: return "QPRAC+Proactive-EA";
+    std::string base_label;
+    if (ideal) {
+        base_label = "QPRAC-Ideal";
+    } else if (!opportunistic) {
+        base_label = "QPRAC-NoOp";
+    } else {
+        switch (proactive) {
+          case ProactiveMode::None: base_label = "QPRAC"; break;
+          case ProactiveMode::EveryRef:
+            base_label = "QPRAC+Proactive";
+            break;
+          case ProactiveMode::EnergyAware:
+            base_label = "QPRAC+Proactive-EA";
+            break;
+        }
     }
-    return "QPRAC";
+    if (backend != SqBackendKind::Linear)
+        base_label += std::string("@") + sqBackendName(backend);
+    return base_label;
+}
+
+std::string
+QpracConfig::registryKey() const
+{
+    if (ideal)
+        return "qprac-ideal";
+    if (!opportunistic)
+        return "qprac-noop";
+    switch (proactive) {
+      case ProactiveMode::None: return "qprac";
+      case ProactiveMode::EveryRef: return "qprac+proactive";
+      case ProactiveMode::EnergyAware: return "qprac+proactive-ea";
+    }
+    return "qprac";
 }
 
 QpracConfig
@@ -63,7 +89,9 @@ QpracConfig::idealTopN(int nbo, int nmit)
     return c;
 }
 
-Qprac::Qprac(const QpracConfig& config, dram::PracCounters* counters)
+template <class Backend>
+QpracT<Backend>::QpracT(const QpracConfig& config,
+                        dram::PracCounters* counters)
     : config_(config), counters_(counters)
 {
     QP_ASSERT(counters_ != nullptr, "QPRAC requires PRAC counters");
@@ -71,18 +99,22 @@ Qprac::Qprac(const QpracConfig& config, dram::PracCounters* counters)
     QP_ASSERT(config_.nbo >= 1, "NBO must be >= 1");
     const int banks = counters_->numBanks();
     psqs_.reserve(static_cast<std::size_t>(banks));
-    for (int i = 0; i < banks; ++i)
-        psqs_.emplace_back(config_.psq_size);
+    for (int i = 0; i < banks; ++i) {
+        if constexpr (std::is_same_v<Backend, CoalescingQueue>)
+            psqs_.emplace_back(config_.psq_size, config_.coalesce_window);
+        else
+            psqs_.emplace_back(config_.psq_size);
+    }
     if (config_.ideal)
         ideal_.resize(static_cast<std::size_t>(banks));
     over_threshold_.assign(static_cast<std::size_t>(banks), 0);
     refs_seen_.assign(static_cast<std::size_t>(banks), 0);
 }
 
+template <class Backend>
 void
-Qprac::onActivate(int flat_bank, int row, ActCount count, Cycle cycle)
+QpracT<Backend>::activateOne(int flat_bank, int row, ActCount count)
 {
-    (void)cycle;
     auto& psq = psqs_[static_cast<std::size_t>(flat_bank)];
     PsqInsert result = psq.onActivate(row, count);
     switch (result) {
@@ -110,14 +142,35 @@ Qprac::onActivate(int flat_bank, int row, ActCount count, Cycle cycle)
     }
 }
 
+template <class Backend>
+void
+QpracT<Backend>::onActivate(int flat_bank, int row, ActCount count,
+                            Cycle cycle)
+{
+    (void)cycle;
+    activateOne(flat_bank, row, count);
+}
+
+template <class Backend>
+void
+QpracT<Backend>::onActivateBatch(const dram::ActEvent* events, int n)
+{
+    // One virtual entry for the whole burst; the loop below is fully
+    // statically dispatched into the concrete backend.
+    for (int i = 0; i < n; ++i)
+        activateOne(events[i].flat_bank, events[i].row, events[i].count);
+}
+
+template <class Backend>
 bool
-Qprac::wantsAlert() const
+QpracT<Backend>::wantsAlert() const
 {
     return num_over_ > 0;
 }
 
+template <class Backend>
 int
-Qprac::alertingBank() const
+QpracT<Backend>::alertingBank() const
 {
     if (num_over_ == 0)
         return -1;
@@ -127,8 +180,9 @@ Qprac::alertingBank() const
     return -1;
 }
 
+template <class Backend>
 int
-Qprac::idealTopRow(int bank)
+QpracT<Backend>::idealTopRow(int bank)
 {
     auto& heap = ideal_[static_cast<std::size_t>(bank)].heap;
     // Lazily drop stale heap entries (count changed since push).
@@ -141,8 +195,10 @@ Qprac::idealTopRow(int bank)
     return kNoRow;
 }
 
+template <class Backend>
 bool
-Qprac::mitigateTop(int bank, bool require_count, ActCount min_count)
+QpracT<Backend>::mitigateTop(int bank, bool require_count,
+                             ActCount min_count)
 {
     int row = kNoRow;
     if (config_.ideal) {
@@ -152,7 +208,7 @@ Qprac::mitigateTop(int bank, bool require_count, ActCount min_count)
             row = kNoRow;
     } else {
         auto& psq = psqs_[static_cast<std::size_t>(bank)];
-        const PriorityServiceQueue::Entry* top = psq.top();
+        const SqEntry* top = psq.top();
         if (top && (!require_count || top->count >= min_count))
             row = top->row;
     }
@@ -181,8 +237,9 @@ Qprac::mitigateTop(int bank, bool require_count, ActCount min_count)
     return true;
 }
 
+template <class Backend>
 void
-Qprac::refreshAlertFlag(int bank)
+QpracT<Backend>::refreshAlertFlag(int bank)
 {
     bool over;
     if (config_.ideal) {
@@ -203,9 +260,10 @@ Qprac::refreshAlertFlag(int bank)
     }
 }
 
+template <class Backend>
 void
-Qprac::onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
-             Cycle cycle)
+QpracT<Backend>::onRfm(int flat_bank, dram::RfmScope scope,
+                       bool alerting_bank, Cycle cycle)
 {
     (void)scope;
     (void)cycle;
@@ -217,8 +275,9 @@ Qprac::onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
         ++stats_.rfm_mitigations;
 }
 
+template <class Backend>
 void
-Qprac::onRefresh(int flat_bank, Cycle cycle)
+QpracT<Backend>::onRefresh(int flat_bank, Cycle cycle)
 {
     (void)cycle;
     if (config_.proactive == ProactiveMode::None)
@@ -233,14 +292,16 @@ Qprac::onRefresh(int flat_bank, Cycle cycle)
         ++stats_.proactive_mitigations;
 }
 
-const PriorityServiceQueue&
-Qprac::psq(int flat_bank) const
+template <class Backend>
+const Backend&
+QpracT<Backend>::psq(int flat_bank) const
 {
     return psqs_[static_cast<std::size_t>(flat_bank)];
 }
 
+template <class Backend>
 ActCount
-Qprac::topCount(int flat_bank) const
+QpracT<Backend>::topCount(int flat_bank) const
 {
     if (config_.ideal) {
         // Non-mutating scan is fine here (inspection only).
@@ -254,6 +315,24 @@ Qprac::topCount(int flat_bank) const
         return 0;
     }
     return psqs_[static_cast<std::size_t>(flat_bank)].maxCount();
+}
+
+template class QpracT<LinearCamQueue>;
+template class QpracT<HeapQueue>;
+template class QpracT<CoalescingQueue>;
+
+std::unique_ptr<dram::RowhammerMitigation>
+makeQprac(const QpracConfig& config, dram::PracCounters* counters)
+{
+    switch (config.backend) {
+      case SqBackendKind::Linear:
+        return std::make_unique<Qprac>(config, counters);
+      case SqBackendKind::Heap:
+        return std::make_unique<QpracHeap>(config, counters);
+      case SqBackendKind::Coalescing:
+        return std::make_unique<QpracCoalescing>(config, counters);
+    }
+    return std::make_unique<Qprac>(config, counters);
 }
 
 } // namespace qprac::core

@@ -11,15 +11,25 @@
  *                     when the top entry's count >= NPRO (= NBO/K).
  *  - QPRAC-Ideal:     oracular top-N tracking (UPRAC-style ideal), used
  *                     as the performance/security reference.
+ *
+ * The engine is parameterized over the ServiceQueueBackend: QpracT<B>
+ * calls its per-bank queues with static dispatch (B is a final class, so
+ * the activation hot path has no virtual calls), and makeQprac()
+ * type-erases the instantiation chosen by QpracConfig::backend behind
+ * the RowhammerMitigation interface.
  */
 #ifndef QPRAC_CORE_QPRAC_H
 #define QPRAC_CORE_QPRAC_H
 
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "core/coalescing_queue.h"
+#include "core/heap_queue.h"
 #include "core/psq.h"
+#include "core/service_queue.h"
 #include "dram/mitigation_iface.h"
 
 namespace qprac::dram {
@@ -47,8 +57,15 @@ struct QpracConfig
     int npro = 16;         ///< EA threshold; paper default NBO/2
     int proactive_period_refs = 1; ///< 1 proactive per N REFs (Fig 17/21)
     bool ideal = false;    ///< QPRAC-Ideal (oracular top-N)
+    /** Service-queue implementation (Linear = the paper's CAM). */
+    SqBackendKind backend = SqBackendKind::Linear;
+    /** Staging entries for the Coalescing backend. */
+    int coalesce_window = CoalescingQueue::kDefaultWindow;
 
     std::string label() const;
+
+    /** Name this preset resolves to in the MitigationRegistry. */
+    std::string registryKey() const;
 
     // Named presets matching the paper's evaluated designs (§V).
     static QpracConfig noOp(int nbo = 32, int nmit = 1);
@@ -58,15 +75,24 @@ struct QpracConfig
     static QpracConfig idealTopN(int nbo = 32, int nmit = 1);
 };
 
-/** QPRAC mitigation engine (one instance serves every bank). */
-class Qprac : public dram::RowhammerMitigation
+/**
+ * QPRAC mitigation engine (one instance serves every bank), over a
+ * concrete service-queue backend.
+ */
+template <class Backend>
+class QpracT final : public dram::RowhammerMitigation
 {
   public:
-    Qprac(const QpracConfig& config, dram::PracCounters* counters);
+    QpracT(const QpracConfig& config, dram::PracCounters* counters);
 
     void onActivate(int flat_bank, int row, ActCount count,
                     Cycle cycle) override;
+    void onActivateBatch(const dram::ActEvent* events, int n) override;
     bool wantsAlert() const override;
+    ActCount alertRiseThreshold() const override
+    {
+        return static_cast<ActCount>(config_.nbo);
+    }
     void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
                Cycle cycle) override;
     void onRefresh(int flat_bank, Cycle cycle) override;
@@ -77,7 +103,7 @@ class Qprac : public dram::RowhammerMitigation
     const QpracConfig& config() const { return config_; }
 
     /** PSQ of one bank (inspection/testing). */
-    const PriorityServiceQueue& psq(int flat_bank) const;
+    const Backend& psq(int flat_bank) const;
 
     /** Highest tracked count for a bank (PSQ, or true max when ideal). */
     ActCount topCount(int flat_bank) const;
@@ -96,6 +122,9 @@ class Qprac : public dram::RowhammerMitigation
         std::priority_queue<HeapEntry> heap;
     };
 
+    /** Statically-dispatched per-ACT work shared by both entry points. */
+    void activateOne(int flat_bank, int row, ActCount count);
+
     /** Mitigate one row in @p bank; returns true if a row was mitigated. */
     bool mitigateTop(int bank, bool require_count = false,
                      ActCount min_count = 0);
@@ -105,13 +134,26 @@ class Qprac : public dram::RowhammerMitigation
 
     QpracConfig config_;
     dram::PracCounters* counters_;
-    std::vector<PriorityServiceQueue> psqs_;
+    std::vector<Backend> psqs_;
     std::vector<IdealTracker> ideal_;
     std::vector<char> over_threshold_;
     std::vector<int> refs_seen_;
     int num_over_ = 0;
     dram::MitigationStats stats_;
 };
+
+extern template class QpracT<LinearCamQueue>;
+extern template class QpracT<HeapQueue>;
+extern template class QpracT<CoalescingQueue>;
+
+/** The paper's QPRAC: linear-scan CAM backend. */
+using Qprac = QpracT<LinearCamQueue>;
+using QpracHeap = QpracT<HeapQueue>;
+using QpracCoalescing = QpracT<CoalescingQueue>;
+
+/** Construct the QpracT instantiation selected by @p config.backend. */
+std::unique_ptr<dram::RowhammerMitigation>
+makeQprac(const QpracConfig& config, dram::PracCounters* counters);
 
 } // namespace qprac::core
 

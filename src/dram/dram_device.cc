@@ -36,7 +36,24 @@ DramDevice::DramDevice(const Organization& org, const TimingParams& timing,
 void
 DramDevice::setMitigation(RowhammerMitigation* mitigation)
 {
+    // Deliver anything still buffered to the outgoing mitigation before
+    // swapping; a new mitigation must not see pre-attach ACTs.
+    flushMitigationActs();
     mitigation_ = mitigation;
+    alert_rise_threshold_ =
+        mitigation_ ? mitigation_->alertRiseThreshold() : 0;
+}
+
+void
+DramDevice::flushMitigationActs() const
+{
+    if (act_batch_.empty())
+        return;
+    if (mitigation_)
+        mitigation_->onActivateBatch(act_batch_.data(),
+                                     static_cast<int>(act_batch_.size()));
+    act_batch_.clear();
+    batch_max_count_ = 0;
 }
 
 void
@@ -131,9 +148,15 @@ DramDevice::issueAct(int flat_bank, int row, Cycle now)
         bankgroupOf(flat_bank), now);
     ++stats_.acts;
     ++acts_total_;
+    // The PRAC counter update is synchronous (mitigations read counters
+    // during RFM); only the mitigation notification is batched.
     ActCount count = counters_.onActivate(flat_bank, row);
-    if (mitigation_)
-        mitigation_->onActivate(flat_bank, row, count, now);
+    if (mitigation_) {
+        act_batch_.push_back({flat_bank, row, count, now});
+        batch_max_count_ = std::max(batch_max_count_, count);
+        if (static_cast<int>(act_batch_.size()) >= kActBatchCapacity)
+            flushMitigationActs();
+    }
 }
 
 void
@@ -171,6 +194,7 @@ void
 DramDevice::issueRefresh(int rank, Cycle now)
 {
     QP_ASSERT(rankIdle(rank, now), "REF requires an idle rank");
+    flushMitigationActs();
     const int per_rank = org_.banksPerRank();
     const Cycle until = now + t_.tRFC;
     for (int i = rank * per_rank; i < (rank + 1) * per_rank; ++i) {
@@ -185,6 +209,7 @@ DramDevice::issueRefresh(int rank, Cycle now)
 Cycle
 DramDevice::issueRfm(RfmScope scope, int alert_bank, Cycle now)
 {
+    flushMitigationActs();
     Cycle until = now;
     auto covered = [&](int flat_bank) {
         switch (scope) {
@@ -219,7 +244,20 @@ DramDevice::issueRfm(RfmScope scope, int alert_bank, Cycle now)
 bool
 DramDevice::alertAsserted() const
 {
-    if (!mitigation_ || !mitigation_->wantsAlert())
+    if (!mitigation_)
+        return false;
+    // ALERT_n is an observation point — but the level can only RISE
+    // because of a buffered ACT whose count reaches the mitigation's
+    // alert threshold (it falls only through mitigation on RFM/REF,
+    // which flush at dispatch). So the per-sample flush is needed only
+    // when such an ACT is actually buffered; otherwise the batch keeps
+    // accumulating across samples, which is what keeps the per-ACT
+    // virtual call off the hot path even while ABO polls every cycle.
+    if (!act_batch_.empty() &&
+        (alert_rise_threshold_ == 0 ||
+         batch_max_count_ >= alert_rise_threshold_))
+        flushMitigationActs();
+    if (!mitigation_->wantsAlert())
         return false;
     // ABODelay: after an alert is serviced, the next alert may only be
     // asserted once the device has serviced abo_delay_acts_ further ACTs.

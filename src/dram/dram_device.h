@@ -54,7 +54,26 @@ class DramDevice
     const TimingParams& timing() const { return t_; }
     PracCounters& pracCounters() { return counters_; }
     const PracCounters& pracCounters() const { return counters_; }
-    RowhammerMitigation* mitigation() { return mitigation_; }
+
+    /** Attached mitigation, with any pending ACT notifications flushed. */
+    RowhammerMitigation*
+    mitigation()
+    {
+        flushMitigationActs();
+        return mitigation_;
+    }
+
+    /**
+     * Deliver buffered ACT notifications to the mitigation in one
+     * batched call. ACTs are accumulated per command-burst (issueAct
+     * only appends) and flushed whenever mitigation state becomes
+     * observable: RFM/REF dispatch, the mitigation() accessor, the
+     * buffer filling, or an ALERT_n sample that a buffered ACT could
+     * raise (see alertRiseThreshold(); samples no buffered count can
+     * affect keep batching). Until then the per-ACT virtual call is
+     * off the hot path.
+     */
+    void flushMitigationActs() const;
 
     Bank& bank(int flat_bank);
     const Bank& bank(int flat_bank) const;
@@ -119,6 +138,14 @@ class DramDevice
     std::vector<Bank> banks_;
     std::vector<RankTiming> rank_timing_;
     RowhammerMitigation* mitigation_ = nullptr;
+
+    /** ACT notifications not yet delivered to the mitigation. */
+    mutable std::vector<ActEvent> act_batch_;
+    static constexpr int kActBatchCapacity = 64;
+    /** Cached RowhammerMitigation::alertRiseThreshold() (0 = none). */
+    ActCount alert_rise_threshold_ = 0;
+    /** Highest count currently buffered in act_batch_. */
+    mutable ActCount batch_max_count_ = 0;
 
     Cycle data_bus_free_ = 0;
     int abo_delay_acts_ = 1;

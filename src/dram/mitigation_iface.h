@@ -44,6 +44,15 @@ struct MitigationStats
     void exportTo(StatSet& out, const std::string& prefix) const;
 };
 
+/** One ACT notification, as accumulated by the device between flushes. */
+struct ActEvent
+{
+    int flat_bank;
+    int row;
+    ActCount count; ///< post-increment PRAC count
+    Cycle cycle;
+};
+
 /** Abstract in-DRAM Rowhammer mitigation. */
 class RowhammerMitigation
 {
@@ -61,10 +70,37 @@ class RowhammerMitigation
                             Cycle cycle) = 0;
 
     /**
+     * Batched ACT notification. The device accumulates ACT events per
+     * command-burst and hands them over in one call, so the per-ACT
+     * virtual dispatch disappears from the activation hot loop.
+     * Implementations that care about throughput override this with a
+     * statically-dispatched loop; the default preserves per-event
+     * semantics exactly.
+     */
+    virtual void
+    onActivateBatch(const ActEvent* events, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            onActivate(events[i].flat_bank, events[i].row, events[i].count,
+                       events[i].cycle);
+    }
+
+    /**
      * Level of the ALERT_n request: true while the device wants the host
      * to start the ABO flow. The device gates this with ABODelay.
      */
     virtual bool wantsAlert() const = 0;
+
+    /**
+     * Smallest post-increment ACT count that can newly assert the alert
+     * (0 = unknown; the device must deliver buffered ACTs before every
+     * ALERT_n sample). Threshold designs return their alert threshold so
+     * the device can keep batching ACTs across ALERT_n samples: an alert
+     * can only RISE because of a buffered ACT whose count reaches this
+     * value — it falls only through mitigation on RFM/REF, and those are
+     * flush points already.
+     */
+    virtual ActCount alertRiseThreshold() const { return 0; }
 
     /**
      * One RFM opportunity for @p flat_bank.

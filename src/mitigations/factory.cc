@@ -1,9 +1,8 @@
 #include "mitigations/factory.h"
 
+#include <algorithm>
+
 #include "common/log.h"
-#include "core/qprac.h"
-#include "mitigations/mithril.h"
-#include "mitigations/moat.h"
 #include "mitigations/panopticon.h"
 #include "mitigations/pride.h"
 #include "mitigations/uprac.h"
@@ -30,61 +29,179 @@ MitigationStats::exportTo(StatSet& out, const std::string& prefix) const
 
 namespace qprac::mitigations {
 
+namespace {
+
+/** Shared body of every QPRAC registry entry. */
+std::unique_ptr<dram::RowhammerMitigation>
+buildQprac(core::QpracConfig (*preset)(int, int),
+           const MitigationParams& p, dram::PracCounters* counters)
+{
+    core::QpracConfig cfg = p.qprac ? *p.qprac : preset(p.nbo, p.nmit);
+    if (p.psq_size > 0)
+        cfg.psq_size = p.psq_size;
+    if (p.backend)
+        cfg.backend = *p.backend;
+    return core::makeQprac(cfg, counters);
+}
+
+MitigationRegistry::Builder
+qpracBuilder(core::QpracConfig (*preset)(int, int))
+{
+    return [preset](const MitigationParams& p, dram::PracCounters* c) {
+        return buildQprac(preset, p, c);
+    };
+}
+
+} // namespace
+
+MitigationRegistry::MitigationRegistry()
+{
+    registerDesign("none", "insecure baseline (no in-DRAM mitigation)",
+                   [](const MitigationParams&, dram::PracCounters*)
+                       -> std::unique_ptr<dram::RowhammerMitigation> {
+                       return nullptr;
+                   });
+    registerDesign("qprac-noop",
+                   "QPRAC-NoOp: only the alerting bank mitigates per RFM",
+                   qpracBuilder(&core::QpracConfig::noOp));
+    registerDesign("qprac",
+                   "QPRAC: opportunistic mitigation in every covered bank",
+                   qpracBuilder(&core::QpracConfig::base));
+    registerDesign("qprac+proactive",
+                   "QPRAC + proactive mitigation on every REF",
+                   qpracBuilder(&core::QpracConfig::proactiveEvery));
+    registerDesign("qprac+proactive-ea",
+                   "QPRAC + energy-aware proactive mitigation (top >= NPRO)",
+                   qpracBuilder(&core::QpracConfig::proactiveEa));
+    registerDesign("qprac-ideal",
+                   "QPRAC-Ideal: oracular top-N tracking reference",
+                   qpracBuilder(&core::QpracConfig::idealTopN));
+    registerDesign("panopticon",
+                   "Panopticon with t-bit counters and a FIFO queue",
+                   [](const MitigationParams&, dram::PracCounters* c) {
+                       return std::make_unique<Panopticon>(
+                           PanopticonConfig::tbit(6, 4), c);
+                   });
+    registerDesign("panopticon-fullctr",
+                   "Panopticon variant with full counters (threshold NBO)",
+                   [](const MitigationParams& p, dram::PracCounters* c) {
+                       return std::make_unique<Panopticon>(
+                           PanopticonConfig::fullCounter(p.nbo, 4), c);
+                   });
+    registerDesign("uprac-fifo",
+                   "UPRAC with a FIFO service queue (Fill+Escape victim)",
+                   [](const MitigationParams& p, dram::PracCounters* c) {
+                       return std::make_unique<UpracFifo>(4, p.nbo, c);
+                   });
+    registerDesign("moat",
+                   "MOAT: single-entry queue, dual thresholds ETH/ATH",
+                   [](const MitigationParams& p, dram::PracCounters* c) {
+                       MoatConfig cfg =
+                           p.moat ? *p.moat : MoatConfig::forNbo(p.nbo);
+                       return std::make_unique<Moat>(cfg, c);
+                   });
+    registerDesign("pride",
+                   "PrIDE: controller-paced RFMs with per-bank FIFOs",
+                   [](const MitigationParams&, dram::PracCounters* c) {
+                       return std::make_unique<Pride>(PrideConfig{}, c);
+                   });
+    registerDesign("mithril",
+                   "Mithril: Misra-Gries tracker with paced RFMs",
+                   [](const MitigationParams& p, dram::PracCounters* c) {
+                       MithrilConfig cfg =
+                           p.mithril ? *p.mithril : MithrilConfig{};
+                       return std::make_unique<Mithril>(cfg, c);
+                   });
+}
+
+MitigationRegistry&
+MitigationRegistry::instance()
+{
+    static MitigationRegistry registry;
+    return registry;
+}
+
+void
+MitigationRegistry::registerDesign(const std::string& name,
+                                   const std::string& description,
+                                   Builder builder)
+{
+    if (!entries_.count(name))
+        order_.push_back(name);
+    entries_[name] = Entry{description, std::move(builder)};
+}
+
+bool
+MitigationRegistry::unregisterDesign(const std::string& name)
+{
+    if (!entries_.erase(name))
+        return false;
+    order_.erase(std::find(order_.begin(), order_.end(), name));
+    return true;
+}
+
+bool
+MitigationRegistry::has(const std::string& name) const
+{
+    if (auto at = name.find('@'); at != std::string::npos) {
+        core::SqBackendKind kind;
+        if (!core::parseSqBackend(name.substr(at + 1), &kind))
+            return false;
+        return entries_.count(name.substr(0, at)) != 0;
+    }
+    return entries_.count(name) != 0;
+}
+
+std::string
+MitigationRegistry::description(const std::string& name) const
+{
+    if (!has(name))
+        return std::string();
+    auto it = entries_.find(name.substr(0, name.find('@')));
+    return it != entries_.end() ? it->second.description : std::string();
+}
+
+std::unique_ptr<dram::RowhammerMitigation>
+MitigationRegistry::create(const std::string& name,
+                           const MitigationParams& params,
+                           dram::PracCounters* counters) const
+{
+    std::string base = name;
+    MitigationParams p = params;
+    if (auto at = name.find('@'); at != std::string::npos) {
+        base = name.substr(0, at);
+        core::SqBackendKind kind;
+        if (!core::parseSqBackend(name.substr(at + 1), &kind))
+            fatal(strCat("unknown service-queue backend '",
+                         name.substr(at + 1), "' in '", name,
+                         "' (expected linear, heap or coalescing)"));
+        p.backend = kind;
+    }
+    auto it = entries_.find(base);
+    if (it == entries_.end()) {
+        std::string known;
+        for (const auto& n : order_)
+            known += (known.empty() ? "" : ", ") + n;
+        fatal(strCat("unknown mitigation '", base, "' (known: ", known,
+                     ")"));
+    }
+    return it->second.builder(p, counters);
+}
+
 std::unique_ptr<dram::RowhammerMitigation>
 createMitigation(const std::string& name, int nbo, int nmit,
                  dram::PracCounters* counters)
 {
-    using core::Qprac;
-    using core::QpracConfig;
-    if (name == "none")
-        return nullptr;
-    if (name == "qprac-noop")
-        return std::make_unique<Qprac>(QpracConfig::noOp(nbo, nmit),
-                                       counters);
-    if (name == "qprac")
-        return std::make_unique<Qprac>(QpracConfig::base(nbo, nmit),
-                                       counters);
-    if (name == "qprac+proactive")
-        return std::make_unique<Qprac>(
-            QpracConfig::proactiveEvery(nbo, nmit), counters);
-    if (name == "qprac+proactive-ea")
-        return std::make_unique<Qprac>(QpracConfig::proactiveEa(nbo, nmit),
-                                       counters);
-    if (name == "qprac-ideal")
-        return std::make_unique<Qprac>(QpracConfig::idealTopN(nbo, nmit),
-                                       counters);
-    if (name == "panopticon")
-        return std::make_unique<Panopticon>(PanopticonConfig::tbit(6, 4),
-                                            counters);
-    if (name == "panopticon-fullctr")
-        return std::make_unique<Panopticon>(
-            PanopticonConfig::fullCounter(nbo, 4), counters);
-    if (name == "uprac-fifo")
-        return std::make_unique<UpracFifo>(4, nbo, counters);
-    if (name == "moat")
-        return std::make_unique<Moat>(MoatConfig::forNbo(nbo), counters);
-    if (name == "pride")
-        return std::make_unique<Pride>(PrideConfig{}, counters);
-    if (name == "mithril")
-        return std::make_unique<Mithril>(MithrilConfig{}, counters);
-    fatal(strCat("unknown mitigation '", name, "'"));
+    MitigationParams p;
+    p.nbo = nbo;
+    p.nmit = nmit;
+    return MitigationRegistry::instance().create(name, p, counters);
 }
 
 std::vector<std::string>
 mitigationNames()
 {
-    return {"none",
-            "qprac-noop",
-            "qprac",
-            "qprac+proactive",
-            "qprac+proactive-ea",
-            "qprac-ideal",
-            "panopticon",
-            "panopticon-fullctr",
-            "uprac-fifo",
-            "moat",
-            "pride",
-            "mithril"};
+    return MitigationRegistry::instance().names();
 }
 
 } // namespace qprac::mitigations

@@ -42,6 +42,10 @@ class Moat : public dram::RowhammerMitigation
     void onActivate(int flat_bank, int row, ActCount count,
                     Cycle cycle) override;
     bool wantsAlert() const override;
+    ActCount alertRiseThreshold() const override
+    {
+        return static_cast<ActCount>(config_.ath);
+    }
     void onRfm(int flat_bank, dram::RfmScope scope, bool alerting_bank,
                Cycle cycle) override;
     void onRefresh(int flat_bank, Cycle cycle) override;

@@ -6,10 +6,26 @@
 #include <thread>
 
 #include "common/log.h"
+#include "mitigations/factory.h"
 #include "mitigations/mithril.h"
 #include "mitigations/pride.h"
 
 namespace qprac::sim {
+
+namespace {
+
+/** Construct through the MitigationRegistry — the single build path. */
+MitigationFactory
+registryFactory(std::string name, mitigations::MitigationParams params)
+{
+    return [name = std::move(name),
+            params = std::move(params)](dram::PracCounters* counters) {
+        return mitigations::MitigationRegistry::instance().create(
+            name, params, counters);
+    };
+}
+
+} // namespace
 
 DesignSpec
 DesignSpec::qprac(const core::QpracConfig& config, dram::RfmScope scope)
@@ -19,9 +35,11 @@ DesignSpec::qprac(const core::QpracConfig& config, dram::RfmScope scope)
     d.abo.enabled = true;
     d.abo.nmit = config.nmit;
     d.abo.scope = scope;
-    d.factory = [config](dram::PracCounters* counters) {
-        return std::make_unique<core::Qprac>(config, counters);
-    };
+    mitigations::MitigationParams p;
+    p.nbo = config.nbo;
+    p.nmit = config.nmit;
+    p.qprac = config;
+    d.factory = registryFactory(config.registryKey(), std::move(p));
     return d;
 }
 
@@ -32,9 +50,9 @@ DesignSpec::moat(const mitigations::MoatConfig& config)
     d.label = "MOAT";
     d.abo.enabled = true;
     d.abo.nmit = 1;
-    d.factory = [config](dram::PracCounters* counters) {
-        return std::make_unique<mitigations::Moat>(config, counters);
-    };
+    mitigations::MitigationParams p;
+    p.moat = config;
+    d.factory = registryFactory("moat", std::move(p));
     return d;
 }
 
@@ -47,10 +65,7 @@ DesignSpec::pride(int trh)
     d.baseline_key = "noprac";
     d.abo.enabled = false;
     d.rfm_policy = mitigations::RfmPolicy::forPride(trh);
-    d.factory = [](dram::PracCounters* counters) {
-        return std::make_unique<mitigations::Pride>(
-            mitigations::PrideConfig{}, counters);
-    };
+    d.factory = registryFactory("pride", {});
     return d;
 }
 
@@ -63,12 +78,12 @@ DesignSpec::mithril(int trh)
     d.baseline_key = "noprac";
     d.abo.enabled = false;
     d.rfm_policy = mitigations::RfmPolicy::forMithril(trh);
-    d.factory = [trh](dram::PracCounters* counters) {
-        // Cap tracker size: entry count does not affect RFM pacing.
-        auto cfg = mitigations::MithrilConfig::forTrh(trh);
-        cfg.entries = std::min(cfg.entries, 512);
-        return std::make_unique<mitigations::Mithril>(cfg, counters);
-    };
+    // Cap tracker size: entry count does not affect RFM pacing.
+    auto cfg = mitigations::MithrilConfig::forTrh(trh);
+    cfg.entries = std::min(cfg.entries, 512);
+    mitigations::MitigationParams p;
+    p.mithril = cfg;
+    d.factory = registryFactory("mithril", std::move(p));
     return d;
 }
 

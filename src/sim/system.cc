@@ -51,6 +51,8 @@ System::run()
     }
     if (cycle >= cfg_.max_cycles)
         warn("simulation hit max_cycles before cores finished");
+    // Land any still-buffered ACT notifications before reading stats.
+    device_->flushMitigationActs();
 
     SimResult r;
     r.cycles = cycle;

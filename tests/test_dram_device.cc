@@ -63,9 +63,53 @@ TEST(DramDevice, ActIncrementsPracAndNotifiesMitigation)
     Qprac q(QpracConfig::base(8, 1), &dev.pracCounters());
     dev.setMitigation(&q);
     dev.issueAct(0, 100, 0);
+    // The PRAC counter update is synchronous...
     EXPECT_EQ(dev.pracCounters().count(0, 100), 1u);
     EXPECT_EQ(dev.stats().acts, 1u);
+    // ...while the mitigation notification is batched per command-burst.
+    dev.flushMitigationActs();
     EXPECT_TRUE(q.psq(0).contains(100));
+}
+
+TEST(DramDevice, ActNotificationsAreBatchedUntilObserved)
+{
+    DramDevice dev(smallOrg(), TimingParams::ddr5Prac());
+    Qprac q(QpracConfig::base(8, 1), &dev.pracCounters());
+    dev.setMitigation(&q);
+
+    TimingParams t = TimingParams::ddr5Prac();
+    dev.issueAct(0, 100, 0);
+    dev.issueAct(1, 200, static_cast<Cycle>(t.tRRD_L));
+    // Nothing observed yet: the tracker has not seen the ACTs.
+    EXPECT_FALSE(q.psq(0).contains(100));
+    EXPECT_FALSE(q.psq(1).contains(200));
+    // An ALERT_n sample no buffered count can raise (all counts < NBO)
+    // keeps batching — this is what makes batching effective while the
+    // ABO engine polls the alert level every cycle.
+    EXPECT_FALSE(dev.alertAsserted());
+    EXPECT_FALSE(q.psq(0).contains(100));
+    // An explicit flush (RFM/REF dispatch and stats collection do this
+    // internally) lands the whole burst in one batched call.
+    dev.flushMitigationActs();
+    EXPECT_TRUE(q.psq(0).contains(100));
+    EXPECT_TRUE(q.psq(1).contains(200));
+    // The batch delivered exactly one insertion per ACT.
+    EXPECT_EQ(q.stats().psq_insertions, 2u);
+}
+
+TEST(DramDevice, AlertVisibilityMatchesEagerDispatch)
+{
+    // The deferral must be invisible through the device interface: an
+    // ACT crossing NBO asserts ALERT_n at the very next sample.
+    DramDevice dev(smallOrg(), TimingParams::ddr5Prac());
+    Qprac q(QpracConfig::base(2, 1), &dev.pracCounters());
+    dev.setMitigation(&q);
+    TimingParams t = TimingParams::ddr5Prac();
+    dev.issueAct(0, 100, 0);
+    EXPECT_FALSE(dev.alertAsserted());
+    dev.issuePre(0, static_cast<Cycle>(t.tRAS));
+    dev.issueAct(0, 100, static_cast<Cycle>(t.tRC)); // count 2 = NBO
+    EXPECT_TRUE(dev.alertAsserted());
 }
 
 TEST(DramDevice, ReadWriteFlow)

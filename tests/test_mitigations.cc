@@ -283,3 +283,107 @@ TEST(FactoryTest, CreatesEveryKnownMitigation)
         }
     }
 }
+
+// ---- MitigationRegistry ----------------------------------------------
+
+TEST(RegistryTest, ListsDesignsWithDescriptions)
+{
+    auto& reg = MitigationRegistry::instance();
+    auto names = reg.names();
+    ASSERT_GE(names.size(), 12u);
+    // Registration order starts with the baseline and the QPRAC family.
+    EXPECT_EQ(names.front(), "none");
+    for (const auto& name : names) {
+        EXPECT_TRUE(reg.has(name)) << name;
+        EXPECT_FALSE(reg.description(name).empty()) << name;
+    }
+    EXPECT_FALSE(reg.has("no-such-design"));
+    // has()/description() agree with create() on suffixed names.
+    EXPECT_TRUE(reg.has("qprac@heap"));
+    EXPECT_FALSE(reg.has("qprac@btree"));
+    EXPECT_EQ(reg.description("qprac@heap"), reg.description("qprac"));
+    EXPECT_TRUE(reg.description("qprac@btree").empty());
+}
+
+TEST(RegistryTest, BackendSuffixSelectsServiceQueue)
+{
+    PracCounters c(2, 256);
+    MitigationParams p;
+    p.nbo = 32;
+    for (const char* suffix : {"linear", "heap", "coalescing"}) {
+        auto m = MitigationRegistry::instance().create(
+            std::string("qprac@") + suffix, p, &c);
+        ASSERT_NE(m, nullptr) << suffix;
+        // Non-default backends surface in the design label.
+        if (std::string(suffix) == "linear")
+            EXPECT_EQ(m->name(), "QPRAC");
+        else
+            EXPECT_EQ(m->name(), std::string("QPRAC@") + suffix);
+        for (int i = 0; i < 20; ++i)
+            act(c, *m, 0, 8 * (i % 3));
+        m->onRfm(0, RfmScope::AllBank, true, 0);
+    }
+}
+
+TEST(RegistryTest, ParamsOverridePsqSizeAndBackend)
+{
+    PracCounters c(1, 256);
+    MitigationParams p;
+    p.nbo = 8;
+    p.psq_size = 3;
+    p.backend = qprac::core::SqBackendKind::Heap;
+    auto m = MitigationRegistry::instance().create("qprac", p, &c);
+    ASSERT_NE(m, nullptr);
+    auto* q = dynamic_cast<qprac::core::QpracHeap*>(m.get());
+    ASSERT_NE(q, nullptr) << "backend override must select QpracT<Heap>";
+    EXPECT_EQ(q->config().psq_size, 3);
+    EXPECT_EQ(q->config().nbo, 8);
+}
+
+TEST(RegistryTest, FullQpracConfigPassesThrough)
+{
+    PracCounters c(1, 256);
+    qprac::core::QpracConfig cfg = qprac::core::QpracConfig::proactiveEa(64, 2);
+    cfg.proactive_period_refs = 4;
+    MitigationParams p;
+    p.qprac = cfg;
+    auto m = MitigationRegistry::instance().create(cfg.registryKey(), p, &c);
+    auto* q = dynamic_cast<qprac::core::Qprac*>(m.get());
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->config().nbo, 64);
+    EXPECT_EQ(q->config().npro, 32);
+    EXPECT_EQ(q->config().proactive_period_refs, 4);
+}
+
+TEST(RegistryTest, UnknownNamesAreFatal)
+{
+    PracCounters c(1, 256);
+    MitigationParams p;
+    EXPECT_EXIT(
+        { MitigationRegistry::instance().create("no-such", p, &c); },
+        ::testing::ExitedWithCode(1), "unknown mitigation");
+    EXPECT_EXIT(
+        { MitigationRegistry::instance().create("qprac@btree", p, &c); },
+        ::testing::ExitedWithCode(1), "unknown service-queue backend");
+}
+
+TEST(RegistryTest, CustomDesignsCanRegister)
+{
+    auto& reg = MitigationRegistry::instance();
+    reg.registerDesign("test-custom", "registered by a unit test",
+                       [](const MitigationParams& p,
+                          dram::PracCounters* counters) {
+                           return qprac::core::makeQprac(
+                               qprac::core::QpracConfig::base(p.nbo, p.nmit),
+                               counters);
+                       });
+    EXPECT_TRUE(reg.has("test-custom"));
+    PracCounters c(1, 256);
+    auto m = reg.create("test-custom", {}, &c);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name(), "QPRAC");
+    // Leave the process-wide registry as we found it.
+    EXPECT_TRUE(reg.unregisterDesign("test-custom"));
+    EXPECT_FALSE(reg.has("test-custom"));
+    EXPECT_FALSE(reg.unregisterDesign("test-custom"));
+}

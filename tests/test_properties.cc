@@ -72,8 +72,9 @@ TEST(Properties, PsqTopMatchesGlobalMaxAfterItsActivation)
             last_row = row;
         }
         ActCount global_max = ctrs.maxCount(0);
-        if (ctrs.count(0, last_row) == global_max)
+        if (ctrs.count(0, last_row) == global_max) {
             ASSERT_EQ(q.psq(0).maxCount(), global_max);
+        }
         // In all cases the tracked top is a lower bound on reality and
         // within the truth (never an overestimate).
         ASSERT_LE(q.psq(0).maxCount(), global_max);
@@ -174,10 +175,127 @@ TEST_P(PsqAdmissionProperty, HoldsForCapacity)
         int row = static_cast<int>(rng.nextBelow(64));
         ActCount c = ++counts[row];
         ActCount min_before = psq.minCount();
-        if (psq.onActivate(row, c) == core::PsqInsert::Rejected)
+        if (psq.onActivate(row, c) == core::PsqInsert::Rejected) {
             ASSERT_LE(c, min_before);
+        }
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(Capacities, PsqAdmissionProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16, 32));
+
+/**
+ * Property 6 (backend equivalence): LinearCamQueue and HeapQueue are
+ * decision-equivalent. Fed an identical random activation stream —
+ * including interleaved mitigations (remove-top, the way QPRAC drains
+ * the queue) — both backends return the same insert outcome and expose
+ * the same top/min/max/membership at every step. This is what makes the
+ * backends interchangeable under QPRAC's security argument: the proof
+ * constrains decisions, not data structures.
+ */
+class BackendEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BackendEquivalence, IdenticalDecisionsOnRandomStreams)
+{
+    const int capacity = GetParam();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed * 7919 + static_cast<std::uint64_t>(capacity));
+        core::LinearCamQueue linear(capacity);
+        core::HeapQueue heap(capacity);
+        std::map<int, ActCount> counts;
+
+        for (int step = 0; step < 8000; ++step) {
+            if (rng.nextBool(0.03)) {
+                // Mitigation: both backends must pick the same victim.
+                const core::SqEntry* lt = linear.top();
+                const core::SqEntry* ht = heap.top();
+                ASSERT_EQ(lt == nullptr, ht == nullptr);
+                if (lt) {
+                    ASSERT_EQ(lt->row, ht->row) << "step " << step;
+                    ASSERT_EQ(lt->count, ht->count);
+                    counts[lt->row] = 0; // PRAC reset
+                    ASSERT_TRUE(linear.remove(lt->row));
+                    ASSERT_TRUE(heap.remove(ht->row));
+                }
+                continue;
+            }
+            int row = static_cast<int>(rng.nextBelow(48));
+            ActCount c = ++counts[row];
+            core::PsqInsert lr = linear.onActivate(row, c);
+            core::PsqInsert hr = heap.onActivate(row, c);
+            ASSERT_EQ(lr, hr) << "step " << step << " row " << row
+                              << " count " << c;
+            ASSERT_EQ(linear.size(), heap.size());
+            ASSERT_EQ(linear.minCount(), heap.minCount());
+            ASSERT_EQ(linear.maxCount(), heap.maxCount());
+            ASSERT_EQ(linear.contains(row), heap.contains(row));
+            ASSERT_EQ(linear.countOf(row), heap.countOf(row));
+        }
+
+        // Final state: identical membership, count for count.
+        auto ls = linear.snapshot();
+        auto hs = heap.snapshot();
+        ASSERT_EQ(ls.size(), hs.size());
+        auto byRow = [](const core::SqEntry& a, const core::SqEntry& b) {
+            return a.row < b.row;
+        };
+        std::sort(ls.begin(), ls.end(), byRow);
+        std::sort(hs.begin(), hs.end(), byRow);
+        for (std::size_t i = 0; i < ls.size(); ++i) {
+            ASSERT_EQ(ls[i].row, hs[i].row);
+            ASSERT_EQ(ls[i].count, hs[i].count);
+            ASSERT_EQ(ls[i].seq, hs[i].seq);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BackendEquivalence,
+                         ::testing::Values(1, 2, 5, 16, 64, 256));
+
+/**
+ * Property 7: the full QPRAC engine produces identical mitigation
+ * behaviour over the Linear and Heap backends — same alerts, same
+ * mitigation counts, same per-bank top counts — on a random stream with
+ * RFM/REF opportunities mixed in.
+ */
+TEST(Properties, QpracEngineAgreesAcrossEquivalentBackends)
+{
+    Rng rng(31337);
+    PracCounters c1(2, 1024), c2(2, 1024);
+    QpracConfig cfg = QpracConfig::proactiveEa(16, 1);
+    Qprac linear(cfg, &c1);
+    QpracConfig hcfg = cfg;
+    hcfg.backend = core::SqBackendKind::Heap;
+    core::QpracHeap heap(hcfg, &c2);
+
+    for (int step = 0; step < 20000; ++step) {
+        int bank = static_cast<int>(rng.nextBelow(2));
+        if (rng.nextBool(0.01)) {
+            linear.onRefresh(bank, 0);
+            heap.onRefresh(bank, 0);
+        } else if (rng.nextBool(0.02)) {
+            bool alerting = linear.alertingBank() == bank;
+            ASSERT_EQ(alerting, heap.alertingBank() == bank);
+            linear.onRfm(bank, RfmScope::AllBank, alerting, 0);
+            heap.onRfm(bank, RfmScope::AllBank, alerting, 0);
+        } else {
+            int row = static_cast<int>(rng.nextBelow(64)) * 8;
+            ActCount a = c1.onActivate(bank, row);
+            ActCount b = c2.onActivate(bank, row);
+            ASSERT_EQ(a, b);
+            linear.onActivate(bank, row, a, 0);
+            heap.onActivate(bank, row, b, 0);
+        }
+        ASSERT_EQ(linear.wantsAlert(), heap.wantsAlert()) << step;
+        ASSERT_EQ(linear.topCount(bank), heap.topCount(bank)) << step;
+    }
+    EXPECT_EQ(linear.stats().alerts, heap.stats().alerts);
+    EXPECT_EQ(linear.stats().rfm_mitigations, heap.stats().rfm_mitigations);
+    EXPECT_EQ(linear.stats().proactive_mitigations,
+              heap.stats().proactive_mitigations);
+    EXPECT_EQ(linear.stats().psq_insertions, heap.stats().psq_insertions);
+    EXPECT_EQ(linear.stats().psq_evictions, heap.stats().psq_evictions);
+    EXPECT_GT(linear.stats().rfm_mitigations, 0u);
+}

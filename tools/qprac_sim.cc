@@ -10,10 +10,13 @@
  *                          --list for all 57
  *     --trace PATH         trace file instead of a synthetic workload
  *                          ("<bubbles> <load_addr> [<store_addr>]")
- *     --mitigation NAME    none | qprac-noop | qprac | qprac+proactive |
- *                          qprac+proactive-ea | qprac-ideal | moat |
- *                          pride | mithril | ... (default
- *                          qprac+proactive-ea)
+ *     --mitigation NAME    any registry design name, optionally with a
+ *                          QPRAC backend suffix, e.g. qprac@heap
+ *                          (default qprac+proactive-ea); see
+ *                          --list-designs
+ *     --backend NAME       QPRAC service-queue backend: linear | heap |
+ *                          coalescing (default linear)
+ *     --psq-size N         PSQ entries per bank (default 5)
  *     --nbo N              Back-Off threshold (default 32)
  *     --nmit N             RFMs per alert, 1/2/4 (default 1)
  *     --insts N            instructions per core (default 400000)
@@ -22,6 +25,7 @@
  *                          normalized performance
  *     --stats              dump the full stat set
  *     --list               list workloads and mitigations, then exit
+ *     --list-designs       list registry designs with descriptions
  */
 #include <cstdio>
 #include <cstdlib>
@@ -52,13 +56,27 @@ listEverything()
     t.print();
 }
 
+void
+listDesigns()
+{
+    auto& registry = mitigations::MitigationRegistry::instance();
+    std::printf("designs (select with --mitigation):\n");
+    Table t({"name", "description"});
+    for (const auto& name : registry.names())
+        t.addRow({name, registry.description(name)});
+    t.print();
+    std::printf("\nqprac designs accept an @backend suffix "
+                "(linear | heap | coalescing), e.g. qprac@heap.\n");
+}
+
 [[noreturn]] void
 usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--workload NAME | --trace PATH] "
-                 "[--mitigation NAME] [--nbo N] [--nmit N] [--insts N] "
-                 "[--cores N] [--baseline] [--stats] [--list]\n",
+                 "[--mitigation NAME] [--backend NAME] [--psq-size N] "
+                 "[--nbo N] [--nmit N] [--insts N] [--cores N] "
+                 "[--baseline] [--stats] [--list] [--list-designs]\n",
                  argv0);
     std::exit(2);
 }
@@ -71,6 +89,8 @@ main(int argc, char** argv)
     std::string workload = "429.mcf";
     std::string trace_path;
     std::string mitigation = "qprac+proactive-ea";
+    std::string backend;
+    int psq_size = 0;
     int nbo = 32;
     int nmit = 1;
     std::uint64_t insts = 400'000;
@@ -93,6 +113,10 @@ main(int argc, char** argv)
             trace_path = need("--trace");
         else if (arg == "--mitigation")
             mitigation = need("--mitigation");
+        else if (arg == "--backend")
+            backend = need("--backend");
+        else if (arg == "--psq-size")
+            psq_size = std::atoi(need("--psq-size"));
         else if (arg == "--nbo")
             nbo = std::atoi(need("--nbo"));
         else if (arg == "--nmit")
@@ -109,6 +133,9 @@ main(int argc, char** argv)
         else if (arg == "--list") {
             listEverything();
             return 0;
+        } else if (arg == "--list-designs") {
+            listDesigns();
+            return 0;
         } else {
             usage(argv[0]);
         }
@@ -118,14 +145,26 @@ main(int argc, char** argv)
     cfg.insts_per_core = insts;
     cfg.num_cores = cores;
 
+    mitigations::MitigationParams params;
+    params.nbo = nbo;
+    params.nmit = nmit;
+    params.psq_size = psq_size;
+    if (!backend.empty()) {
+        core::SqBackendKind kind;
+        if (!core::parseSqBackend(backend, &kind)) {
+            std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
+            usage(argv[0]);
+        }
+        params.backend = kind;
+    }
+
     sim::DesignSpec design;
     design.label = mitigation;
     design.abo.enabled = mitigation != "none";
     design.abo.nmit = nmit;
-    design.factory = [mitigation, nbo,
-                      nmit](dram::PracCounters* counters) {
-        return mitigations::createMitigation(mitigation, nbo, nmit,
-                                             counters);
+    design.factory = [mitigation, params](dram::PracCounters* counters) {
+        return mitigations::MitigationRegistry::instance().create(
+            mitigation, params, counters);
     };
     // RFM-paced designs have no ABO alert; the controller supplies
     // their mitigation slots (treat --nbo as the target TRH for pacing).
