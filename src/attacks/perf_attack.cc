@@ -20,15 +20,15 @@ class AttackTrafficGen
         : mapper_(mapper), carousel_(carousel_rows)
     {
         const auto& org = mapper.organization();
-        const int banks = org.ranks * org.banksPerRank();
-        next_row_.assign(static_cast<std::size_t>(banks), 0);
+        next_row_.assign(static_cast<std::size_t>(org.banksPerChannel()),
+                         0);
     }
 
     /** Keep the controller's read queue full. */
     void pump(ctrl::MemoryController& mc, Cycle now)
     {
         const auto& org = mapper_.organization();
-        const int banks = org.ranks * org.banksPerRank();
+        const int banks = org.banksPerChannel();
         while (!mc.readQueueFull()) {
             int flat = bank_cursor_;
             bank_cursor_ = (bank_cursor_ + 1) % banks;
@@ -99,8 +99,11 @@ analyticBandwidthLossPct(int nbo, dram::RfmScope scope, bool proactive)
     const double trrd_ns = t.cyclesToNs(static_cast<Cycle>(t.tRRD_S));
     const double trc_ns = t.cyclesToNs(static_cast<Cycle>(t.tRC));
     const double trefi_ns = t.cyclesToNs(static_cast<Cycle>(t.tREFI));
+    // All quantities here are channel-scoped: an RFM blocks banks of one
+    // channel, so the per-channel bank count is the right denominator
+    // (totalBanks() would multiply in channels and understate the loss).
     const dram::Organization org;
-    const int total_banks = org.totalBanks();
+    const int total_banks = org.banksPerChannel();
 
     // Service cost per alert, scaled by the fraction of the channel the
     // RFM scope blocks (fixed term: alert handling / quiesce overlap).

@@ -17,10 +17,12 @@ LlcStats::exportTo(StatSet& out, const std::string& prefix) const
     out.set(prefix + "mshr_merges", static_cast<double>(mshr_merges));
 }
 
-SharedLlc::SharedLlc(const LlcConfig& config, ctrl::MemoryController& mc,
+SharedLlc::SharedLlc(const LlcConfig& config, ctrl::MemorySystem& memory,
                      const dram::AddressMapper& mapper)
-    : cfg_(config), mc_(mc), mapper_(mapper)
+    : cfg_(config), memory_(memory), mapper_(mapper)
 {
+    pending_writebacks_.resize(
+        static_cast<std::size_t>(memory_.channels()));
     num_sets_ = static_cast<int>(
         cfg_.size_bytes /
         (static_cast<std::uint64_t>(cfg_.ways) *
@@ -77,8 +79,9 @@ SharedLlc::victimLine(Addr line_addr)
 void
 SharedLlc::pushWriteback(Addr line_addr)
 {
-    pending_writebacks_.push_back(line_addr *
-                                  static_cast<Addr>(cfg_.line_bytes));
+    Addr addr = line_addr * static_cast<Addr>(cfg_.line_bytes);
+    int channel = mapper_.channelOf(addr);
+    pending_writebacks_[static_cast<std::size_t>(channel)].push_back(addr);
     ++stats_.writebacks;
 }
 
@@ -153,7 +156,9 @@ SharedLlc::access(Addr addr, bool is_store, int source,
     }
     if (mshrs_in_use_ >= cfg_.mshrs)
         return false;
-    if (mc_.readQueueFull())
+    Addr full = line * static_cast<Addr>(cfg_.line_bytes);
+    dram::DecodedAddr dec = mapper_.decode(full);
+    if (memory_.readQueueFull(dec.channel))
         return false;
 
     // Allocate an MSHR and send the fill request.
@@ -173,10 +178,9 @@ SharedLlc::access(Addr addr, bool is_store, int source,
     ++mshrs_in_use_;
     ++stats_.load_misses;
 
-    Addr full = line * static_cast<Addr>(cfg_.line_bytes);
-    bool ok = mc_.enqueueRead(
-        full, mapper_.decode(full), source,
-        [this, line](Cycle at) { onFill(line, at); }, now);
+    bool ok = memory_.enqueueRead(
+        full, dec, source, [this, line](Cycle at) { onFill(line, at); },
+        now);
     QP_ASSERT(ok, "read queue admission raced with readQueueFull()");
     return true;
 }
@@ -205,11 +209,14 @@ SharedLlc::tick(Cycle now)
         if (fn)
             fn();
     }
-    while (!pending_writebacks_.empty() && !mc_.writeQueueFull()) {
-        Addr addr = pending_writebacks_.front();
-        if (!mc_.enqueueWrite(addr, mapper_.decode(addr), -1, now))
-            break;
-        pending_writebacks_.pop_front();
+    for (std::size_t c = 0; c < pending_writebacks_.size(); ++c) {
+        auto& q = pending_writebacks_[c];
+        while (!q.empty() && !memory_.writeQueueFull(static_cast<int>(c))) {
+            Addr addr = q.front();
+            if (!memory_.enqueueWrite(addr, mapper_.decode(addr), -1, now))
+                break;
+            q.pop_front();
+        }
     }
 }
 
@@ -224,8 +231,10 @@ SharedLlc::warmInstall(Addr addr)
 bool
 SharedLlc::quiesced() const
 {
-    return mshrs_in_use_ == 0 && hit_events_.empty() &&
-           pending_writebacks_.empty();
+    for (const auto& q : pending_writebacks_)
+        if (!q.empty())
+            return false;
+    return mshrs_in_use_ == 0 && hit_events_.empty();
 }
 
 } // namespace qprac::cpu

@@ -18,7 +18,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
-#include "ctrl/memory_controller.h"
+#include "ctrl/memory_system.h"
 #include "dram/address.h"
 
 namespace qprac::cpu {
@@ -48,11 +48,16 @@ struct LlcStats
     void exportTo(StatSet& out, const std::string& prefix) const;
 };
 
-/** Set-associative shared LLC bound to one memory controller. */
+/**
+ * Set-associative shared LLC bound to the sharded memory system. Misses
+ * and writebacks are routed to the decoded channel; backpressure (full
+ * read/write queues) is applied per channel, so one saturated channel
+ * does not stall fills or writebacks bound for the others.
+ */
 class SharedLlc
 {
   public:
-    SharedLlc(const LlcConfig& config, ctrl::MemoryController& mc,
+    SharedLlc(const LlcConfig& config, ctrl::MemorySystem& memory,
               const dram::AddressMapper& mapper);
 
     /**
@@ -106,7 +111,7 @@ class SharedLlc
     void pushWriteback(Addr line_addr);
 
     LlcConfig cfg_;
-    ctrl::MemoryController& mc_;
+    ctrl::MemorySystem& memory_;
     const dram::AddressMapper& mapper_;
     int num_sets_;
     std::vector<Line> lines_; ///< num_sets * ways, row-major by set
@@ -123,7 +128,8 @@ class SharedLlc
     std::priority_queue<HitEvent, std::vector<HitEvent>,
                         std::greater<HitEvent>>
         hit_events_;
-    std::deque<Addr> pending_writebacks_;
+    /** Per-channel writeback queues (no cross-channel head-of-line). */
+    std::vector<std::deque<Addr>> pending_writebacks_;
     LlcStats stats_;
 };
 

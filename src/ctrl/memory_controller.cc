@@ -21,6 +21,21 @@ CtrlStats::exportTo(StatSet& out, const std::string& prefix) const
     out.set(prefix + "refs", static_cast<double>(refs));
 }
 
+void
+CtrlStats::add(const CtrlStats& o)
+{
+    reads_enqueued += o.reads_enqueued;
+    writes_enqueued += o.writes_enqueued;
+    reads_done += o.reads_done;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    read_latency_sum += o.read_latency_sum;
+    alerts += o.alerts;
+    rfms += o.rfms;
+    policy_rfms += o.policy_rfms;
+    refs += o.refs;
+}
+
 MemoryController::MemoryController(dram::DramDevice& dev,
                                    const ControllerConfig& config)
     : dev_(dev),
@@ -49,9 +64,7 @@ MemoryController::enqueueRead(Addr addr, const dram::DecodedAddr& dec,
     r.type = Request::Type::Read;
     r.addr = addr;
     r.dec = dec;
-    r.flat_bank = dec.rank * dev_.organization().banksPerRank() +
-                  dec.bankgroup * dev_.organization().banks_per_group +
-                  dec.bank;
+    r.flat_bank = dram::flatBankInChannel(dev_.organization(), dec);
     r.arrive = now;
     r.id = next_req_id_++;
     r.source = source;
@@ -71,9 +84,7 @@ MemoryController::enqueueWrite(Addr addr, const dram::DecodedAddr& dec,
     r.type = Request::Type::Write;
     r.addr = addr;
     r.dec = dec;
-    r.flat_bank = dec.rank * dev_.organization().banksPerRank() +
-                  dec.bankgroup * dev_.organization().banks_per_group +
-                  dec.bank;
+    r.flat_bank = dram::flatBankInChannel(dev_.organization(), dec);
     r.arrive = now;
     r.id = next_req_id_++;
     r.source = source;

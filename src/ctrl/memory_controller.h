@@ -46,9 +46,16 @@ struct CtrlStats
     std::uint64_t refs = 0;
 
     void exportTo(StatSet& out, const std::string& prefix) const;
+
+    /** Accumulate another channel's counters (cross-channel totals). */
+    void add(const CtrlStats& o);
 };
 
-/** Single-channel DDR5 memory controller. */
+/**
+ * DDR5 memory controller for one channel. MemorySystem owns one
+ * instance per channel; ABO, refresh, RFM pacing and the per-bank RAA
+ * vectors are all channel-local state.
+ */
 class MemoryController
 {
   public:

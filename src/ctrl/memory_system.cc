@@ -1,0 +1,197 @@
+#include "ctrl/memory_system.h"
+
+#include "common/log.h"
+
+namespace qprac::ctrl {
+
+MemorySystem::MemorySystem(const dram::Organization& org,
+                           const dram::TimingParams& timing,
+                           const ControllerConfig& ctrl_config,
+                           const MitigationFactory& mitigation,
+                           int blast_radius)
+    : org_(org)
+{
+    QP_ASSERT(org.channels >= 1, "need at least one channel");
+    shards_.reserve(static_cast<std::size_t>(org.channels));
+    for (int c = 0; c < org.channels; ++c) {
+        Shard s;
+        s.device = std::make_unique<dram::DramDevice>(org, timing,
+                                                      blast_radius);
+        if (mitigation)
+            s.mitigation = mitigation(&s.device->pracCounters());
+        s.device->setMitigation(s.mitigation.get());
+        s.controller =
+            std::make_unique<MemoryController>(*s.device, ctrl_config);
+        shards_.push_back(std::move(s));
+    }
+}
+
+MemorySystem::Shard&
+MemorySystem::shard(int channel)
+{
+    QP_ASSERT(channel >= 0 && channel < channels(),
+              "channel out of range");
+    return shards_[static_cast<std::size_t>(channel)];
+}
+
+const MemorySystem::Shard&
+MemorySystem::shard(int channel) const
+{
+    QP_ASSERT(channel >= 0 && channel < channels(),
+              "channel out of range");
+    return shards_[static_cast<std::size_t>(channel)];
+}
+
+bool
+MemorySystem::enqueueRead(Addr addr, const dram::DecodedAddr& dec,
+                          int source,
+                          std::function<void(Cycle)> on_complete,
+                          Cycle now)
+{
+    return shard(dec.channel)
+        .controller->enqueueRead(addr, dec, source, std::move(on_complete),
+                                 now);
+}
+
+bool
+MemorySystem::enqueueWrite(Addr addr, const dram::DecodedAddr& dec,
+                           int source, Cycle now)
+{
+    return shard(dec.channel).controller->enqueueWrite(addr, dec, source,
+                                                       now);
+}
+
+bool
+MemorySystem::readQueueFull(int channel) const
+{
+    return shard(channel).controller->readQueueFull();
+}
+
+bool
+MemorySystem::writeQueueFull(int channel) const
+{
+    return shard(channel).controller->writeQueueFull();
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    for (auto& s : shards_)
+        s.controller->tick(now);
+}
+
+bool
+MemorySystem::drained() const
+{
+    for (const auto& s : shards_)
+        if (!s.controller->drained())
+            return false;
+    return true;
+}
+
+void
+MemorySystem::flushMitigationActs() const
+{
+    for (const auto& s : shards_)
+        s.device->flushMitigationActs();
+}
+
+dram::DramDevice&
+MemorySystem::device(int channel)
+{
+    return *shard(channel).device;
+}
+
+const dram::DramDevice&
+MemorySystem::device(int channel) const
+{
+    return *shard(channel).device;
+}
+
+MemoryController&
+MemorySystem::controller(int channel)
+{
+    return *shard(channel).controller;
+}
+
+const MemoryController&
+MemorySystem::controller(int channel) const
+{
+    return *shard(channel).controller;
+}
+
+dram::RowhammerMitigation*
+MemorySystem::mitigation(int channel) const
+{
+    return shard(channel).mitigation.get();
+}
+
+dram::DeviceStats
+MemorySystem::deviceStats() const
+{
+    dram::DeviceStats total;
+    for (const auto& s : shards_)
+        total.add(s.device->stats());
+    return total;
+}
+
+CtrlStats
+MemorySystem::ctrlStats() const
+{
+    CtrlStats total;
+    for (const auto& s : shards_)
+        total.add(s.controller->stats());
+    return total;
+}
+
+dram::MitigationStats
+MemorySystem::mitigationStats() const
+{
+    dram::MitigationStats total;
+    flushMitigationActs();
+    for (const auto& s : shards_)
+        if (s.mitigation)
+            total.add(s.mitigation->stats());
+    return total;
+}
+
+bool
+MemorySystem::hasMitigation() const
+{
+    for (const auto& s : shards_)
+        if (s.mitigation)
+            return true;
+    return false;
+}
+
+std::uint64_t
+MemorySystem::alerts() const
+{
+    std::uint64_t total = 0;
+    for (const auto& s : shards_)
+        total += s.controller->abo().alerts();
+    return total;
+}
+
+void
+MemorySystem::exportStats(StatSet& out, const std::string& prefix) const
+{
+    // mitigationStats() flushes buffered ACTs before the per-channel
+    // reads below; no separate flush needed here.
+    deviceStats().exportTo(out, prefix + "dram.");
+    ctrlStats().exportTo(out, prefix + "ctrl.");
+    if (hasMitigation())
+        mitigationStats().exportTo(out, prefix + "mit.");
+    if (channels() > 1) {
+        for (int c = 0; c < channels(); ++c) {
+            const std::string ch = prefix + strCat("ch", c, ".");
+            const Shard& s = shards_[static_cast<std::size_t>(c)];
+            s.device->stats().exportTo(out, ch + "dram.");
+            s.controller->stats().exportTo(out, ch + "ctrl.");
+            if (s.mitigation)
+                s.mitigation->stats().exportTo(out, ch + "mit.");
+        }
+    }
+}
+
+} // namespace qprac::ctrl

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The channel shard layer between the LLC and the DRAM channels.
+ *
+ * A MemorySystem owns N independent shards — each a (MemoryController,
+ * DramDevice, RowhammerMitigation) triple — and routes requests by the
+ * decoded channel bits. Every shard has its own ABO engine, refresh
+ * scheduler, RFM pacing state, PRAC counters and mitigation instance;
+ * nothing but the command clock is shared, so an alert or quiesce on
+ * one channel never perturbs another. Flat bank ids below this layer
+ * are per-channel ([0, banksPerChannel())); only cross-channel stat
+ * aggregation uses the global flat-bank space.
+ */
+#ifndef QPRAC_CTRL_MEMORY_SYSTEM_H
+#define QPRAC_CTRL_MEMORY_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "ctrl/memory_controller.h"
+#include "dram/dram_device.h"
+#include "dram/mitigation_iface.h"
+
+namespace qprac::ctrl {
+
+/**
+ * Builds one in-DRAM mitigation instance from that channel's PRAC
+ * counters. The MemorySystem invokes the factory once per channel, so
+ * one spec yields N independent instances (null factory or null result
+ * = insecure baseline).
+ */
+using MitigationFactory =
+    std::function<std::unique_ptr<dram::RowhammerMitigation>(
+        dram::PracCounters*)>;
+
+/** N-channel sharded memory system. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const dram::Organization& org,
+                 const dram::TimingParams& timing,
+                 const ControllerConfig& ctrl_config,
+                 const MitigationFactory& mitigation, int blast_radius = 2);
+
+    int channels() const { return static_cast<int>(shards_.size()); }
+    const dram::Organization& organization() const { return org_; }
+
+    // --- Routing (by the decoded channel bits) --------------------------
+    /** Enqueue a read on @p dec's channel; false when that queue is full. */
+    bool enqueueRead(Addr addr, const dram::DecodedAddr& dec, int source,
+                     std::function<void(Cycle)> on_complete, Cycle now);
+
+    /** Enqueue a posted write; false when that channel's queue is full. */
+    bool enqueueWrite(Addr addr, const dram::DecodedAddr& dec, int source,
+                      Cycle now);
+
+    bool readQueueFull(int channel) const;
+    bool writeQueueFull(int channel) const;
+
+    /** Advance every channel one DRAM command-clock cycle. */
+    void tick(Cycle now);
+
+    /** True when no shard has requests queued or in flight. */
+    bool drained() const;
+
+    /** Land buffered ACT notifications on every channel's mitigation. */
+    void flushMitigationActs() const;
+
+    // --- Per-shard access -----------------------------------------------
+    dram::DramDevice& device(int channel);
+    const dram::DramDevice& device(int channel) const;
+    MemoryController& controller(int channel);
+    const MemoryController& controller(int channel) const;
+    dram::RowhammerMitigation* mitigation(int channel) const;
+
+    // --- Cross-channel aggregation --------------------------------------
+    dram::DeviceStats deviceStats() const;
+    CtrlStats ctrlStats() const;
+    /** Summed mitigation stats (zeros when no mitigation is attached). */
+    dram::MitigationStats mitigationStats() const;
+    bool hasMitigation() const;
+    /** Σ ABO alerts over all channels. */
+    std::uint64_t alerts() const;
+
+    /**
+     * Export dram./ctrl./mit. aggregates under @p prefix; with more than
+     * one channel also per-channel copies under "<prefix>chK.".
+     */
+    void exportStats(StatSet& out, const std::string& prefix) const;
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<dram::DramDevice> device;
+        std::unique_ptr<dram::RowhammerMitigation> mitigation;
+        std::unique_ptr<MemoryController> controller;
+    };
+
+    Shard& shard(int channel);
+    const Shard& shard(int channel) const;
+
+    dram::Organization org_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace qprac::ctrl
+
+#endif // QPRAC_CTRL_MEMORY_SYSTEM_H

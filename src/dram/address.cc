@@ -67,6 +67,14 @@ AddressMapper::AddressMapper(const Organization& org, MappingScheme scheme)
         place(f_col_, col_bits);
         place(f_row_, row_bits);
         break;
+      case MappingScheme::RoRaBgBaCoCh:
+        place(f_channel_, ch_bits);
+        place(f_col_, col_bits);
+        place(f_bank_, bank_bits);
+        place(f_bg_, bg_bits);
+        place(f_rank_, rank_bits);
+        place(f_row_, row_bits);
+        break;
     }
 }
 
@@ -107,10 +115,36 @@ AddressMapper::encode(const DecodedAddr& dec) const
 int
 AddressMapper::flatBank(const DecodedAddr& dec) const
 {
-    int per_rank = org_.banksPerRank();
-    int rank_flat = dec.bankgroup * org_.banks_per_group + dec.bank;
-    int chan_flat = dec.rank * per_rank + rank_flat;
-    return dec.channel * org_.ranks * per_rank + chan_flat;
+    return dec.channel * org_.banksPerChannel() +
+           dram::flatBankInChannel(org_, dec);
+}
+
+const char*
+mappingSchemeName(MappingScheme scheme)
+{
+    switch (scheme) {
+      case MappingScheme::RoRaBgBaCo:
+        return "row-major";
+      case MappingScheme::RoCoRaBgBa:
+        return "bank-striped";
+      case MappingScheme::RoRaBgBaCoCh:
+        return "channel-striped";
+    }
+    return "?";
+}
+
+bool
+parseMappingScheme(const std::string& name, MappingScheme* out)
+{
+    if (name == "row-major" || name == "rorabgbaco")
+        *out = MappingScheme::RoRaBgBaCo;
+    else if (name == "bank-striped" || name == "rocorabgba")
+        *out = MappingScheme::RoCoRaBgBa;
+    else if (name == "channel-striped" || name == "rorabgbacoch")
+        *out = MappingScheme::RoRaBgBaCoCh;
+    else
+        return false;
+    return true;
 }
 
 Addr

@@ -17,15 +17,27 @@ DeviceStats::exportTo(StatSet& out, const std::string& prefix) const
     out.set(prefix + "rfms", static_cast<double>(rfms));
 }
 
+void
+DeviceStats::add(const DeviceStats& o)
+{
+    acts += o.acts;
+    pres += o.pres;
+    reads += o.reads;
+    writes += o.writes;
+    refs += o.refs;
+    rfms += o.rfms;
+}
+
 DramDevice::DramDevice(const Organization& org, const TimingParams& timing,
                        int blast_radius)
-    : org_(org),
+    : org_(org.perChannel()),
       t_(timing),
-      counters_(org.ranks * org.banksPerRank(), org.rows_per_bank,
-                blast_radius)
+      counters_(org.banksPerChannel(), org.rows_per_bank, blast_radius)
 {
-    QP_ASSERT(org_.channels == 1, "DramDevice models one channel");
-    const int total = org_.ranks * org_.banksPerRank();
+    // One device is one channel: a multi-channel Organization is
+    // normalized to its per-channel slice, and every flat_bank this
+    // class sees is a per-channel id in [0, banksPerChannel()).
+    const int total = org_.banksPerChannel();
     banks_.reserve(static_cast<std::size_t>(total));
     for (int i = 0; i < total; ++i)
         banks_.emplace_back(t_);

@@ -35,9 +35,17 @@ struct DeviceStats
     std::uint64_t rfms = 0;
 
     void exportTo(StatSet& out, const std::string& prefix) const;
+
+    /** Accumulate another channel's counters (cross-channel totals). */
+    void add(const DeviceStats& o);
 };
 
-/** One DRAM channel (the paper's configuration has a single channel). */
+/**
+ * One DRAM channel. A multi-channel Organization is accepted and
+ * normalized to its per-channel slice (organization().channels == 1);
+ * the MemorySystem shard layer instantiates one device per channel.
+ * Every flat_bank is a per-channel id in [0, banksPerChannel()).
+ */
 class DramDevice
 {
   public:

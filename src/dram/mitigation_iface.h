@@ -42,6 +42,9 @@ struct MitigationStats
     std::uint64_t dropped_mitigations = 0; ///< rows lost (insecure designs)
 
     void exportTo(StatSet& out, const std::string& prefix) const;
+
+    /** Accumulate another instance's counters (cross-channel totals). */
+    void add(const MitigationStats& o);
 };
 
 /** One ACT notification, as accumulated by the device between flushes. */

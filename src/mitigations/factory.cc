@@ -25,6 +25,19 @@ MitigationStats::exportTo(StatSet& out, const std::string& prefix) const
             static_cast<double>(dropped_mitigations));
 }
 
+void
+MitigationStats::add(const MitigationStats& o)
+{
+    alerts += o.alerts;
+    rfm_mitigations += o.rfm_mitigations;
+    proactive_mitigations += o.proactive_mitigations;
+    victim_refreshes += o.victim_refreshes;
+    psq_insertions += o.psq_insertions;
+    psq_evictions += o.psq_evictions;
+    psq_hits += o.psq_hits;
+    dropped_mitigations += o.dropped_mitigations;
+}
+
 } // namespace qprac::dram
 
 namespace qprac::mitigations {

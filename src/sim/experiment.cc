@@ -122,6 +122,9 @@ makeSystemConfig(const DesignSpec& design, const ExperimentConfig& cfg)
     sys.core.target_insts = cfg.insts_per_core;
     sys.num_cores = cfg.num_cores;
     sys.llc.size_bytes = cfg.llc_mb * 1024 * 1024;
+    sys.org.channels = cfg.channels;
+    sys.org.ranks = cfg.ranks;
+    sys.mapping = cfg.mapping;
     return sys;
 }
 

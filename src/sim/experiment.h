@@ -68,6 +68,15 @@ struct ExperimentConfig
     int num_cores = 4;
     int threads = defaultThreads();
     /**
+     * Memory geometry. The paper evaluates one DDR5 channel (Table II);
+     * benches and the experiment harness keep that default so the paper
+     * figures are unchanged. channels > 1 shards the memory system into
+     * independent (controller, device, mitigation) triples.
+     */
+    int channels = 1;
+    int ranks = 2;
+    dram::MappingScheme mapping = dram::MappingScheme::RoRaBgBaCo;
+    /**
      * Scaled-LLC methodology: short runs touch far fewer distinct lines
      * than the paper's 500M-instruction runs, so the 8MB LLC of Table II
      * would absorb the entire working set and suppress all DRAM row

@@ -12,13 +12,9 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
 {
     QP_ASSERT(static_cast<int>(traces_.size()) == cfg_.num_cores,
               "one trace per core required");
-    device_ = std::make_unique<dram::DramDevice>(cfg_.org, cfg_.timing,
-                                                 cfg_.blast_radius);
-    if (mitigation)
-        mitigation_ = mitigation(&device_->pracCounters());
-    device_->setMitigation(mitigation_.get());
-    mc_ = std::make_unique<ctrl::MemoryController>(*device_, cfg_.ctrl);
-    llc_ = std::make_unique<cpu::SharedLlc>(cfg_.llc, *mc_, mapper_);
+    memory_ = std::make_unique<ctrl::MemorySystem>(
+        cfg_.org, cfg_.timing, cfg_.ctrl, mitigation, cfg_.blast_radius);
+    llc_ = std::make_unique<cpu::SharedLlc>(cfg_.llc, *memory_, mapper_);
     for (int i = 0; i < cfg_.num_cores; ++i)
         cores_.push_back(std::make_unique<cpu::O3Core>(
             i, cfg_.core, *traces_[static_cast<std::size_t>(i)], *llc_));
@@ -39,7 +35,7 @@ System::run()
 {
     Cycle cycle = 0;
     for (; cycle < cfg_.max_cycles; ++cycle) {
-        mc_->tick(cycle);
+        memory_->tick(cycle);
         llc_->tick(cycle);
         bool all_done = true;
         for (auto& core : cores_) {
@@ -52,7 +48,7 @@ System::run()
     if (cycle >= cfg_.max_cycles)
         warn("simulation hit max_cycles before cores finished");
     // Land any still-buffered ACT notifications before reading stats.
-    device_->flushMitigationActs();
+    memory_->flushMitigationActs();
 
     SimResult r;
     r.cycles = cycle;
@@ -64,18 +60,15 @@ System::run()
         total_insts += static_cast<double>(cores_[i]->retired());
         cores_[i]->exportStats(r.stats, strCat("core", i, "."));
     }
-    device_->stats().exportTo(r.stats, "dram.");
-    mc_->stats().exportTo(r.stats, "ctrl.");
+    memory_->exportStats(r.stats, "");
     llc_->stats().exportTo(r.stats, "llc.");
-    if (mitigation_)
-        mitigation_->stats().exportTo(r.stats, "mit.");
 
-    r.acts = static_cast<double>(device_->stats().acts);
+    r.acts = static_cast<double>(memory_->deviceStats().acts);
     r.rbmpki = total_insts > 0 ? r.acts / (total_insts / 1000.0) : 0.0;
     double trefis = static_cast<double>(cycle) /
                     static_cast<double>(cfg_.timing.tREFI);
     r.alerts_per_trefi =
-        trefis > 0 ? static_cast<double>(mc_->abo().alerts()) / trefis : 0.0;
+        trefis > 0 ? static_cast<double>(memory_->alerts()) / trefis : 0.0;
     r.stats.set("sim.cycles", static_cast<double>(cycle));
     r.stats.set("sim.ipc_sum", r.ipc_sum);
     r.stats.set("sim.rbmpki", r.rbmpki);

@@ -1,13 +1,12 @@
 /**
  * @file
- * Full-system wiring: cores + shared LLC + memory controller + DRAM
- * device + in-DRAM mitigation, advanced on a single master clock (the
- * DRAM command clock).
+ * Full-system wiring: cores + shared LLC + the N-channel sharded memory
+ * system (one controller + DRAM device + mitigation instance per
+ * channel), advanced on a single master clock (the DRAM command clock).
  */
 #ifndef QPRAC_SIM_SYSTEM_H
 #define QPRAC_SIM_SYSTEM_H
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,15 +14,15 @@
 #include "cpu/core.h"
 #include "cpu/llc.h"
 #include "cpu/trace.h"
-#include "ctrl/memory_controller.h"
-#include "dram/dram_device.h"
+#include "ctrl/memory_system.h"
 
 namespace qprac::sim {
 
-/** Builds the in-DRAM mitigation once the device's counters exist. */
-using MitigationFactory =
-    std::function<std::unique_ptr<dram::RowhammerMitigation>(
-        dram::PracCounters*)>;
+/**
+ * Builds one in-DRAM mitigation instance per channel from that
+ * channel's counters (invoked once per channel by the MemorySystem).
+ */
+using MitigationFactory = ctrl::MitigationFactory;
 
 /** System-level configuration. */
 struct SystemConfig
@@ -39,16 +38,16 @@ struct SystemConfig
     Cycle max_cycles = 500'000'000;
 };
 
-/** Results of one simulation. */
+/** Results of one simulation (aggregated across channels). */
 struct SimResult
 {
     Cycle cycles = 0;
     std::vector<double> core_ipc;
     double ipc_sum = 0.0;         ///< Σ per-core IPC (weighted-speedup numerator)
-    double alerts_per_trefi = 0.0;
+    double alerts_per_trefi = 0.0; ///< Σ alerts over all channels / tREFIs
     double rbmpki = 0.0;          ///< ACTs per kilo-instruction
-    double acts = 0.0;
-    StatSet stats;
+    double acts = 0.0;            ///< Σ ACTs over all channels
+    StatSet stats; ///< aggregate keys plus chK.* copies when channels > 1
 };
 
 /** One simulated machine instance. */
@@ -61,17 +60,19 @@ class System
     /** Run until every core retires its instruction target. */
     SimResult run();
 
-    dram::DramDevice& device() { return *device_; }
-    ctrl::MemoryController& controller() { return *mc_; }
+    ctrl::MemorySystem& memory() { return *memory_; }
+
+    /** Channel-0 shard accessors (single-channel compatibility). */
+    dram::DramDevice& device() { return memory_->device(0); }
+    ctrl::MemoryController& controller() { return memory_->controller(0); }
+    dram::RowhammerMitigation* mitigation() { return memory_->mitigation(0); }
+
     cpu::SharedLlc& llc() { return *llc_; }
-    dram::RowhammerMitigation* mitigation() { return mitigation_.get(); }
 
   private:
     SystemConfig cfg_;
     dram::AddressMapper mapper_;
-    std::unique_ptr<dram::DramDevice> device_;
-    std::unique_ptr<dram::RowhammerMitigation> mitigation_;
-    std::unique_ptr<ctrl::MemoryController> mc_;
+    std::unique_ptr<ctrl::MemorySystem> memory_;
     std::unique_ptr<cpu::SharedLlc> llc_;
     std::vector<std::unique_ptr<cpu::TraceSource>> traces_;
     std::vector<std::unique_ptr<cpu::O3Core>> cores_;

@@ -173,9 +173,10 @@ struct Machine
     Machine()
         : org(makeOrg()),
           mapper(org),
-          dev(org, dram::TimingParams::ddr5Prac()),
-          mc(dev, makeCtrl()),
-          llc(makeLlc(), mc, mapper)
+          msys(org, dram::TimingParams::ddr5Prac(), makeCtrl(), nullptr),
+          dev(msys.device(0)),
+          mc(msys.controller(0)),
+          llc(makeLlc(), msys, mapper)
     {
     }
 
@@ -221,8 +222,9 @@ struct Machine
 
     dram::Organization org;
     dram::AddressMapper mapper;
-    dram::DramDevice dev;
-    ctrl::MemoryController mc;
+    ctrl::MemorySystem msys;
+    dram::DramDevice& dev;
+    ctrl::MemoryController& mc;
     SharedLlc llc;
     Cycle now = 0;
 };

@@ -11,6 +11,7 @@ using cpu::LlcConfig;
 using cpu::SharedLlc;
 using ctrl::ControllerConfig;
 using ctrl::MemoryController;
+using ctrl::MemorySystem;
 using dram::AddressMapper;
 using dram::DramDevice;
 using dram::Organization;
@@ -24,9 +25,10 @@ struct Fixture
         : org(makeOrg()),
           timing(TimingParams::ddr5Prac()),
           mapper(org),
-          dev(org, timing),
-          mc(dev, makeCtrl()),
-          llc(makeLlc(), mc, mapper)
+          msys(org, timing, makeCtrl(), nullptr),
+          dev(msys.device(0)),
+          mc(msys.controller(0)),
+          llc(makeLlc(), msys, mapper)
     {
     }
 
@@ -73,8 +75,9 @@ struct Fixture
     Organization org;
     TimingParams timing;
     AddressMapper mapper;
-    DramDevice dev;
-    MemoryController mc;
+    MemorySystem msys;
+    DramDevice& dev;
+    MemoryController& mc;
     SharedLlc llc;
     Cycle now = 0;
 };

@@ -21,6 +21,12 @@
  *     --nmit N             RFMs per alert, 1/2/4 (default 1)
  *     --insts N            instructions per core (default 400000)
  *     --cores N            number of cores (default 4)
+ *     --channels N         independent DRAM channels, each with its own
+ *                          controller + mitigation instance (default 1,
+ *                          the paper's Table II configuration)
+ *     --ranks N            ranks per channel (default 2)
+ *     --mapping NAME       address mapping: row-major | bank-striped |
+ *                          channel-striped (default row-major)
  *     --baseline           also run the insecure baseline and report
  *                          normalized performance
  *     --stats              dump the full stat set
@@ -76,6 +82,7 @@ usage(const char* argv0)
                  "usage: %s [--workload NAME | --trace PATH] "
                  "[--mitigation NAME] [--backend NAME] [--psq-size N] "
                  "[--nbo N] [--nmit N] [--insts N] [--cores N] "
+                 "[--channels N] [--ranks N] [--mapping NAME] "
                  "[--baseline] [--stats] [--list] [--list-designs]\n",
                  argv0);
     std::exit(2);
@@ -95,6 +102,9 @@ main(int argc, char** argv)
     int nmit = 1;
     std::uint64_t insts = 400'000;
     int cores = 4;
+    int channels = 1;
+    int ranks = 2;
+    dram::MappingScheme mapping = dram::MappingScheme::RoRaBgBaCo;
     bool run_baseline = false;
     bool dump_stats = false;
 
@@ -126,7 +136,17 @@ main(int argc, char** argv)
                 std::atoll(need("--insts")));
         else if (arg == "--cores")
             cores = std::atoi(need("--cores"));
-        else if (arg == "--baseline")
+        else if (arg == "--channels")
+            channels = std::atoi(need("--channels"));
+        else if (arg == "--ranks")
+            ranks = std::atoi(need("--ranks"));
+        else if (arg == "--mapping") {
+            const char* name = need("--mapping");
+            if (!dram::parseMappingScheme(name, &mapping)) {
+                std::fprintf(stderr, "unknown mapping '%s'\n", name);
+                usage(argv[0]);
+            }
+        } else if (arg == "--baseline")
             run_baseline = true;
         else if (arg == "--stats")
             dump_stats = true;
@@ -144,6 +164,17 @@ main(int argc, char** argv)
     sim::ExperimentConfig cfg;
     cfg.insts_per_core = insts;
     cfg.num_cores = cores;
+    if (channels < 1 || (channels & (channels - 1)) != 0) {
+        std::fprintf(stderr, "--channels must be a power of two >= 1\n");
+        usage(argv[0]);
+    }
+    if (ranks < 1 || (ranks & (ranks - 1)) != 0) {
+        std::fprintf(stderr, "--ranks must be a power of two >= 1\n");
+        usage(argv[0]);
+    }
+    cfg.channels = channels;
+    cfg.ranks = ranks;
+    cfg.mapping = mapping;
 
     mitigations::MitigationParams params;
     params.nbo = nbo;
@@ -197,11 +228,14 @@ main(int argc, char** argv)
 
     sim::SimResult result = runDesign(design);
 
-    std::printf("=== qprac_sim: %s on %s, %d cores x %llu insts ===\n",
+    std::printf("=== qprac_sim: %s on %s, %d cores x %llu insts, "
+                "%d channel%s (%s) ===\n",
                 mitigation.c_str(),
                 trace_path.empty() ? workload.c_str()
                                    : trace_path.c_str(),
-                cores, static_cast<unsigned long long>(insts));
+                cores, static_cast<unsigned long long>(insts), channels,
+                channels == 1 ? "" : "s",
+                dram::mappingSchemeName(mapping));
     Table t({"metric", "value"});
     t.addRow({"cycles", Table::num(static_cast<double>(result.cycles), 0)});
     t.addRow({"IPC (sum)", Table::num(result.ipc_sum, 3)});
@@ -213,6 +247,17 @@ main(int argc, char** argv)
     t.addRow({"proactive mitigations",
               Table::num(result.stats.getOr("mit.proactive_mitigations", 0),
                          0)});
+    if (channels > 1) {
+        for (int c = 0; c < channels; ++c) {
+            std::string p = "ch" + std::to_string(c) + ".";
+            t.addRow({p + "activations",
+                      Table::num(result.stats.getOr(p + "dram.acts", 0),
+                                 0)});
+            t.addRow({p + "alerts",
+                      Table::num(result.stats.getOr(p + "ctrl.alerts", 0),
+                                 0)});
+        }
+    }
     if (run_baseline) {
         sim::DesignSpec base;
         base.label = "baseline";
