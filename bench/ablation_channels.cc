@@ -36,11 +36,11 @@ main()
 
     Table t({"channels", "design", "weighted speedup", "slowdown %",
              "alerts/tREFI"});
-    CsvWriter csv(bench::csvPath("ablation_channels.csv"),
+    bench::ResultSink csv("ablation_channels",
                   {"channels", "design", "workload", "norm_perf",
                    "alerts_per_trefi", "rbmpki"});
     for (int channels : {1, 2, 4}) {
-        ExperimentConfig cfg;
+        ExperimentConfig cfg = bench::experiment();
         cfg.channels = channels;
         auto rows = sim::runComparison(workloads, designs, cfg);
         for (std::size_t di = 0; di < designs.size(); ++di) {

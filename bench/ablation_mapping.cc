@@ -24,7 +24,8 @@ runWithMapping(const sim::Workload& wl, const DesignSpec& d,
     sys.mapping = scheme;
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     for (int c = 0; c < cfg.num_cores; ++c)
-        traces.push_back(sim::makeTrace(wl, c, cfg.insts_per_core));
+        traces.push_back(
+            sim::makeTrace(wl, c, cfg.insts_per_core, cfg.seed));
     sim::System system(sys, d.factory, std::move(traces));
     return system.run();
 }
@@ -35,7 +36,7 @@ int
 main()
 {
     bench::banner("Ablation", "address mapping: row-major vs bank-striped");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
 
     std::vector<std::string> names = {"510.parest_r", "429.mcf",
                                       "470.lbm", "tpcc64"};
@@ -46,7 +47,7 @@ main()
 
     Table t({"workload", "scheme", "rbmpki", "norm perf",
              "alerts/tREFI"});
-    CsvWriter csv(bench::csvPath("ablation_mapping.csv"),
+    bench::ResultSink csv("ablation_mapping",
                   {"workload", "scheme", "rbmpki", "norm_perf",
                    "alerts_per_trefi"});
     for (const auto& name : names) {

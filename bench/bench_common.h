@@ -1,7 +1,9 @@
 /**
  * @file
- * Shared helpers for the figure/table benches: workload selection,
- * run-wide banners, and CSV emission next to the binaries.
+ * Shared helpers for the figure/table benches, built on the scenario
+ * API (sim/scenario.h): the harness config comes from one base
+ * ScenarioConfig, workload selection goes through the suite, and every
+ * bench emits results through one structured sink (CSV + JSON).
  */
 #ifndef QPRAC_BENCH_BENCH_COMMON_H
 #define QPRAC_BENCH_BENCH_COMMON_H
@@ -12,9 +14,12 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/log.h"
+#include "common/parse.h"
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/scenario.h"
 #include "sim/workloads.h"
 
 namespace qprac::bench {
@@ -35,6 +40,74 @@ csvPath(const std::string& name)
 }
 
 /**
+ * The bench suite's base scenario: the single config surface every
+ * bench derives its harness knobs from. Field defaults of 0 resolve to
+ * the harness env defaults (QPRAC_INSTS, QPRAC_LLC_MB, QPRAC_THREADS,
+ * QPRAC_SEED) inside ScenarioConfig::experiment().
+ */
+inline sim::ScenarioConfig
+baseScenario()
+{
+    return sim::ScenarioConfig{};
+}
+
+/** Harness config for a bench run, derived from baseScenario(). */
+inline sim::ExperimentConfig
+experiment()
+{
+    return baseScenario().experiment();
+}
+
+/**
+ * Structured result sink: a drop-in CsvWriter replacement that also
+ * emits a JSON document (same rows, keyed by column) beside the CSV,
+ * so benches and qprac_sim speak one machine-readable format.
+ */
+class ResultSink
+{
+  public:
+    ResultSink(const std::string& name, std::vector<std::string> header)
+        : name_(name), header_(std::move(header)),
+          csv_(csvPath(name + ".csv"), header_)
+    {
+    }
+
+    ~ResultSink()
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.key("bench").value(name_);
+        w.key("rows").beginArray();
+        for (const auto& row : rows_) {
+            w.beginObject();
+            for (std::size_t i = 0;
+                 i < row.size() && i < header_.size(); ++i)
+                w.key(header_[i]).value(row[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::ofstream out(csvPath(name_ + ".json"));
+        if (out)
+            out << w.str() << "\n";
+    }
+
+    void addRow(const std::vector<std::string>& cells)
+    {
+        csv_.addRow(cells);
+        rows_.push_back(cells);
+    }
+
+    bool ok() const { return csv_.ok(); }
+
+  private:
+    std::string name_;
+    std::vector<std::string> header_;
+    CsvWriter csv_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
  * Representative 16-workload subset for the sensitivity sweeps
  * (Figs 16-22): the full 57-workload suite is used for the headline
  * Figs 14/15; sweeps use this mix of high/medium/low intensity unless
@@ -43,9 +116,14 @@ csvPath(const std::string& name)
 inline std::vector<sim::Workload>
 sweepWorkloads()
 {
-    if (const char* env = std::getenv("QPRAC_FULL_SUITE"))
-        if (std::atoi(env) != 0)
+    if (const char* env = std::getenv("QPRAC_FULL_SUITE")) {
+        bool full = false;
+        if (!parseBool(env, &full))
+            fatal(strCat("QPRAC_FULL_SUITE='", env,
+                         "' is not a boolean"));
+        if (full)
             return sim::workloadSuite();
+    }
     std::vector<std::string> names = {
         "510.parest_r", "429.mcf",      "482.sphinx3", "450.soplex",
         "433.milc",     "462.libquantum", "471.omnetpp", "470.lbm",

@@ -26,7 +26,7 @@ main()
 
     Table table({"queue_size", "t=6 (M=64)", "t=8 (M=256)",
                  "t=10 (M=1024)"});
-    CsvWriter csv(bench::csvPath("fig02_toggle_forget.csv"),
+    bench::ResultSink csv("fig02_toggle_forget",
                   {"queue_size", "tbit", "unmitigated_acts", "alerts"});
 
     for (int q : queue_sizes) {

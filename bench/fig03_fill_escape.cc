@@ -28,7 +28,7 @@ main()
     for (int q : queue_sizes)
         header.push_back("Q=" + std::to_string(q));
     Table table(header);
-    CsvWriter csv(bench::csvPath("fig03_fill_escape.csv"),
+    bench::ResultSink csv("fig03_fill_escape",
                   {"threshold", "queue_size", "unmitigated_acts"});
 
     for (int m : thresholds) {

@@ -26,7 +26,7 @@ main()
     // ---- Fig 6 ---------------------------------------------------------
     std::printf("\n-- Fig 6: N_online vs starting row pool R1 --\n");
     Table f6({"R1", "PRAC-1", "PRAC-2", "PRAC-4"});
-    CsvWriter c6(bench::csvPath("fig06_nonline.csv"),
+    bench::ResultSink c6("fig06_nonline",
                  {"r1", "nmit", "n_online"});
     for (long r1 : {4L, 1000L, 5000L, 20000L, 40000L, 60000L, 80000L,
                     100000L, 131072L}) {
@@ -46,7 +46,7 @@ main()
     // ---- Fig 7 ---------------------------------------------------------
     std::printf("\n-- Fig 7: maximum R1 vs Back-Off threshold --\n");
     Table f7({"NBO", "PRAC-1", "PRAC-2", "PRAC-4"});
-    CsvWriter c7(bench::csvPath("fig07_max_r1.csv"),
+    bench::ResultSink c7("fig07_max_r1",
                  {"nbo", "nmit", "max_r1"});
     for (int nbo : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
         f7.addRow({std::to_string(nbo), std::to_string(m1.maxR1(nbo)),
@@ -65,7 +65,7 @@ main()
     // ---- Fig 8 ---------------------------------------------------------
     std::printf("\n-- Fig 8: secure TRH vs Back-Off threshold --\n");
     Table f8({"NBO", "PRAC-1", "PRAC-2", "PRAC-4"});
-    CsvWriter c8(bench::csvPath("fig08_trh.csv"), {"nbo", "nmit", "trh"});
+    bench::ResultSink c8("fig08_trh", {"nbo", "nmit", "trh"});
     for (int nbo : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
         f8.addRow({std::to_string(nbo), std::to_string(m1.secureTrh(nbo)),
                    std::to_string(m2.secureTrh(nbo)),

@@ -20,7 +20,7 @@ main()
     bench::banner("Fig 11-13",
                   "wave-attack model with proactive mitigation (§IV-C)");
 
-    CsvWriter csv(bench::csvPath("fig11_13_proactive.csv"),
+    bench::ResultSink csv("fig11_13_proactive",
                   {"figure", "nmit", "x", "base", "proactive"});
 
     std::printf("\n-- Fig 11: maximum R1, QPRAC vs QPRAC+Proactive --\n");

@@ -21,7 +21,7 @@ main()
 {
     bench::banner("Fig 14+15",
                   "normalized performance & alerts/tREFI, 57 workloads");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     std::printf("insts/core=%llu, cores=%d, threads=%d, NBO=32, PRAC-1\n\n",
                 static_cast<unsigned long long>(cfg.insts_per_core),
                 cfg.num_cores, cfg.threads);
@@ -38,7 +38,7 @@ main()
 
     Table table({"workload", "rbmpki", "NoOp", "QPRAC", "+Proactive",
                  "+Pro-EA", "Ideal", "alerts:NoOp", "alerts:QPRAC"});
-    CsvWriter csv(bench::csvPath("fig14_15_performance.csv"),
+    bench::ResultSink csv("fig14_15_performance",
                   {"workload", "rbmpki", "design", "norm_perf",
                    "alerts_per_trefi"});
     for (const auto& row : rows) {

@@ -17,13 +17,13 @@ int
 main()
 {
     bench::banner("Fig 16", "slowdown vs RFMs per alert (PRAC-1/2/4)");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     auto workloads = bench::sweepWorkloads();
     std::printf("workloads=%zu (sweep subset), NBO=32\n\n",
                 workloads.size());
 
     Table table({"design", "PRAC-1", "PRAC-2", "PRAC-4"});
-    CsvWriter csv(bench::csvPath("fig16_rfm_sweep.csv"),
+    bench::ResultSink csv("fig16_rfm_sweep",
                   {"design", "nmit", "slowdown_pct"});
 
     struct Variant

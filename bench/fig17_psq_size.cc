@@ -17,7 +17,7 @@ int
 main()
 {
     bench::banner("Fig 17", "slowdown vs PSQ size x proactive frequency");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     auto workloads = bench::sweepWorkloads();
     std::printf("workloads=%zu (sweep subset), NBO=32, PRAC-1\n\n",
                 workloads.size());
@@ -37,7 +37,7 @@ main()
 
     Table table({"psq_size", "QPRAC", "EA/4tREFI", "EA/2tREFI",
                  "EA/1tREFI"});
-    CsvWriter csv(bench::csvPath("fig17_psq_size.csv"),
+    bench::ResultSink csv("fig17_psq_size",
                   {"psq_size", "variant", "slowdown_pct"});
 
     for (int size = 1; size <= 5; ++size) {

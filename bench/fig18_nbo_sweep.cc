@@ -17,7 +17,7 @@ int
 main()
 {
     bench::banner("Fig 18", "slowdown vs Back-Off threshold (NBO)");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     auto workloads = bench::sweepWorkloads();
     std::printf("workloads=%zu (sweep subset), PRAC-1\n\n",
                 workloads.size());
@@ -36,7 +36,7 @@ main()
 
     Table table({"NBO", "QPRAC", "+Proactive", "+Pro-EA", "Ideal",
                  "alerts/tREFI(QPRAC)"});
-    CsvWriter csv(bench::csvPath("fig18_nbo_sweep.csv"),
+    bench::ResultSink csv("fig18_nbo_sweep",
                   {"nbo", "design", "slowdown_pct", "alerts_per_trefi"});
 
     for (int nbo : {16, 32, 64, 128}) {

@@ -28,7 +28,7 @@ main()
 
     std::printf("\n-- analytical worst case (paper model) --\n");
     Table t({"NBO", "RFMab", "RFMab+Pro", "RFMsb+Pro", "RFMpb+Pro"});
-    CsvWriter csv(bench::csvPath("fig19_perf_attack.csv"),
+    bench::ResultSink csv("fig19_perf_attack",
                   {"nbo", "series", "loss_pct", "source"});
     for (int nbo : {16, 32, 64, 128}) {
         double ab = analyticBandwidthLossPct(nbo, RfmScope::AllBank, false);

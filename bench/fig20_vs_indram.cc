@@ -25,7 +25,7 @@ int
 main()
 {
     bench::banner("Fig 20", "normalized perf vs TRH: Mithril/PrIDE/QPRAC");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     // Dense RFM pacing at low TRH makes each Mithril/PrIDE run ~50x
     // slower than normal; relative slowdowns saturate quickly, so a
     // shorter run and a smaller mix keep this bench tractable.
@@ -40,7 +40,7 @@ main()
     PracSecurityModel nbo_model(PracModelConfig::qpracProactive(1));
 
     Table table({"TRH", "Mithril", "PrIDE", "QPRAC+Pro-EA", "QPRAC NBO"});
-    CsvWriter csv(bench::csvPath("fig20_vs_indram.csv"),
+    bench::ResultSink csv("fig20_vs_indram",
                   {"trh", "design", "norm_perf"});
 
     for (int trh : {64, 128, 256, 512, 1024}) {

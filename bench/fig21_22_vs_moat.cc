@@ -46,7 +46,7 @@ int
 main()
 {
     bench::banner("Fig 21+22", "MOAT vs QPRAC: slowdown & energy vs NBO");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     auto workloads = bench::sweepWorkloads();
     std::printf("workloads=%zu (sweep subset), PRAC-1\n\n",
                 workloads.size());
@@ -70,7 +70,7 @@ main()
                 "QPRAC-EA1"});
     Table energy({"NBO", "MOAT", "MOAT+P4", "MOAT+P1", "QPRAC",
                   "QPRAC-EA4", "QPRAC-EA1"});
-    CsvWriter csv(bench::csvPath("fig21_22_vs_moat.csv"),
+    bench::ResultSink csv("fig21_22_vs_moat",
                   {"nbo", "design", "slowdown_pct", "energy_overhead_pct"});
 
     for (int nbo : {16, 32, 64, 128}) {

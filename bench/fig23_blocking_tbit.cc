@@ -27,7 +27,7 @@ main()
     for (int q : queue_sizes)
         header.push_back("Q=" + std::to_string(q));
     Table table(header);
-    CsvWriter csv(bench::csvPath("fig23_blocking_tbit.csv"),
+    bench::ResultSink csv("fig23_blocking_tbit",
                   {"threshold", "queue_size", "unmitigated_acts"});
 
     for (int t : tbits) {

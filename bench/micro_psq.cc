@@ -212,7 +212,7 @@ runBackendSweep()
 {
     bench::banner("micro_psq", "backend activation throughput sweep");
     const std::vector<int> sizes = {5, 16, 64, 256};
-    CsvWriter csv(bench::csvPath("micro_psq_backends.csv"),
+    bench::ResultSink csv("micro_psq_backends",
                   {"backend", "psq_size", "ops_per_sec"});
     Table table({"psq_size", "linear (Mops/s)", "heap (Mops/s)",
                  "coalescing (Mops/s)"});

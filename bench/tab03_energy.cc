@@ -20,7 +20,7 @@ int
 main()
 {
     bench::banner("Table III", "energy overhead of QPRAC designs");
-    ExperimentConfig cfg;
+    ExperimentConfig cfg = bench::experiment();
     auto workloads = bench::sweepWorkloads();
     std::printf("workloads=%zu (sweep subset), NBO=32\n\n",
                 workloads.size());
@@ -30,7 +30,7 @@ main()
 
     Table table({"PRAC level", "QPRAC", "QPRAC+Proactive",
                  "QPRAC+Proactive-EA"});
-    CsvWriter csv(bench::csvPath("tab03_energy.csv"),
+    bench::ResultSink csv("tab03_energy",
                   {"prac_level", "design", "energy_overhead_pct"});
 
     for (int nmit : {1, 2, 4}) {

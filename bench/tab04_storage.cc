@@ -34,7 +34,7 @@ main()
     bench::banner("Table IV", "per-bank SRAM overhead of in-DRAM trackers");
 
     Table table({"Tracker", "TRH = 4K", "TRH = 100"});
-    CsvWriter csv(bench::csvPath("tab04_storage.csv"),
+    bench::ResultSink csv("tab04_storage",
                   {"tracker", "trh", "bytes_per_bank"});
     auto at4k = storageTable(4000);
     auto at100 = storageTable(100);

@@ -61,7 +61,7 @@ main(int argc, char** argv)
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     for (int c = 0; c < cfg.num_cores; ++c)
         traces.push_back(
-            sim::makeTrace(workload, c, cfg.insts_per_core));
+            sim::makeTrace(workload, c, cfg.insts_per_core, cfg.seed));
     sim::System system(sys, design.factory, std::move(traces));
     sim::SimResult r = system.run();
 

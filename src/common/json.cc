@@ -1,0 +1,339 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace qprac {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (need_comma_)
+        out_ += ',';
+    need_comma_ = false;
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    out_ += '}';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    out_ += ']';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& name)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& v)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out_ += buf;
+    }
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter&
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::raw(const std::string& json_fragment)
+{
+    separate();
+    out_ += json_fragment;
+    need_comma_ = true;
+    return *this;
+}
+
+// --- Syntax checker ---------------------------------------------------
+
+namespace {
+
+struct JsonLint
+{
+    const std::string& s;
+    std::size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool literal(const char* lit)
+    {
+        std::size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (s.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[pos])))
+                            return false;
+                    }
+                } else if (!(e == '"' || e == '\\' || e == '/' ||
+                             e == 'b' || e == 'f' || e == 'n' ||
+                             e == 'r' || e == 't')) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            }
+            ++pos;
+        }
+        return false;
+    }
+
+    bool digits()
+    {
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        return pos > start;
+    }
+
+    bool number()
+    {
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        if (!digits())
+            return false;
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (!digits())
+                return false;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    bool value(int depth)
+    {
+        if (depth > 256)
+            return false;
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        char c = s[pos];
+        if (c == '{') {
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos >= s.size() || s[pos] != ':')
+                    return false;
+                ++pos;
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (pos >= s.size())
+                    return false;
+                if (s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (s[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (pos >= s.size())
+                    return false;
+                if (s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (s[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+};
+
+} // namespace
+
+bool
+jsonValid(const std::string& text)
+{
+    JsonLint lint{text};
+    if (!lint.value(0))
+        return false;
+    lint.skipWs();
+    return lint.pos == text.size();
+}
+
+} // namespace qprac

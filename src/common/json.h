@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON emission (and a syntax checker for tests/CI smoke).
+ *
+ * The structured-results layer serializes ScenarioResult/SimResult with
+ * this writer so every tool emits one machine-readable format; no
+ * external JSON dependency is available in the build image.
+ */
+#ifndef QPRAC_COMMON_JSON_H
+#define QPRAC_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+
+namespace qprac {
+
+/** Escape a string for embedding in a JSON document (no quotes added). */
+std::string jsonEscape(const std::string& s);
+
+/**
+ * Streaming JSON writer. Callers drive begin/end and key/value in
+ * document order; commas are inserted automatically. Doubles are
+ * emitted with round-trip precision (%.17g); non-finite values become
+ * null (JSON has no NaN/Inf).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Emit an object key; must be followed by a value or begin*(). */
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v);
+    JsonWriter& value(bool v);
+
+    /** Splice an already-serialized JSON value into value position. */
+    JsonWriter& raw(const std::string& json_fragment);
+
+    /** The document so far. */
+    const std::string& str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    bool need_comma_ = false;
+};
+
+/**
+ * True when @p text is one syntactically valid JSON value (object,
+ * array, string, number, true/false/null) with nothing trailing.
+ * Structural validation only — no data model is built.
+ */
+bool jsonValid(const std::string& text);
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_JSON_H

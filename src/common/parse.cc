@@ -1,0 +1,127 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace qprac {
+
+std::string
+trimmed(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+parseI64(const std::string& s, std::int64_t* out)
+{
+    std::string t = trimmed(s);
+    if (t.empty())
+        return false;
+    // Reject strtoll's surprises up front: leading '+' is fine, but
+    // hex/octal prefixes and lone signs are not numbers here.
+    std::size_t digits_from = (t[0] == '-' || t[0] == '+') ? 1 : 0;
+    if (digits_from == t.size())
+        return false;
+    for (std::size_t i = digits_from; i < t.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(t[i])))
+            return false;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(t.c_str(), &end, 10);
+    if (errno == ERANGE || end != t.c_str() + t.size())
+        return false;
+    *out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+parseU64(const std::string& s, std::uint64_t* out)
+{
+    std::string t = trimmed(s);
+    if (t.empty() || t[0] == '-')
+        return false;
+    std::size_t digits_from = t[0] == '+' ? 1 : 0;
+    if (digits_from == t.size())
+        return false;
+    for (std::size_t i = digits_from; i < t.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(t[i])))
+            return false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (errno == ERANGE || end != t.c_str() + t.size())
+        return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseIntInRange(const std::string& s, int lo, int hi, int* out)
+{
+    std::int64_t v = 0;
+    if (!parseI64(s, &v))
+        return false;
+    if (v < lo || v > hi)
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseBool(const std::string& s, bool* out)
+{
+    std::string t = trimmed(s);
+    for (char& c : t)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (t == "true" || t == "yes" || t == "on" || t == "1") {
+        *out = true;
+        return true;
+    }
+    if (t == "false" || t == "no" || t == "off" || t == "0") {
+        *out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint64_t
+envU64(const char* name, std::uint64_t fallback)
+{
+    const char* env = std::getenv(name);
+    if (!env)
+        return fallback;
+    std::uint64_t v = 0;
+    if (!parseU64(env, &v))
+        fatal(strCat(name, "='", env, "' is not a non-negative integer"));
+    return v;
+}
+
+int
+envIntInRange(const char* name, int lo, int hi, int fallback)
+{
+    const char* env = std::getenv(name);
+    if (!env)
+        return fallback;
+    int v = 0;
+    if (!parseIntInRange(env, lo, hi, &v))
+        fatal(strCat(name, "='", env, "' is not an integer in [", lo, ", ",
+                     hi, "]"));
+    return v;
+}
+
+} // namespace qprac

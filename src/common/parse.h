@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Strict, validated numeric/boolean parsing.
+ *
+ * Every user-facing number in the simulator (CLI flags, config files,
+ * env vars, sweep specs) flows through these helpers instead of
+ * std::atoi/atoll, which silently accept garbage ("12abc" -> 12) and
+ * overflow. All parsers require the *entire* trimmed string to be
+ * consumed and report range errors.
+ */
+#ifndef QPRAC_COMMON_PARSE_H
+#define QPRAC_COMMON_PARSE_H
+
+#include <cstdint>
+#include <string>
+
+namespace qprac {
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string trimmed(const std::string& s);
+
+/** Signed 64-bit decimal integer; false on garbage or overflow. */
+bool parseI64(const std::string& s, std::int64_t* out);
+
+/** Unsigned 64-bit decimal integer; false on sign, garbage, overflow. */
+bool parseU64(const std::string& s, std::uint64_t* out);
+
+/** Signed int constrained to [lo, hi]; false when outside. */
+bool parseIntInRange(const std::string& s, int lo, int hi, int* out);
+
+/** Boolean: true/false, yes/no, on/off, 1/0 (case-insensitive). */
+bool parseBool(const std::string& s, bool* out);
+
+/** True for 1, 2, 4, 8, ... */
+bool isPowerOfTwo(std::uint64_t v);
+
+/**
+ * Parse an env var as u64; returns @p fallback when unset and calls
+ * fatal() with the variable name when set to a non-number (a silently
+ * ignored QPRAC_INSTS=10k would invalidate a whole sweep).
+ */
+std::uint64_t envU64(const char* name, std::uint64_t fallback);
+
+/** Like envU64 for an int constrained to [lo, hi]. */
+int envIntInRange(const char* name, int lo, int hi, int fallback);
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_PARSE_H

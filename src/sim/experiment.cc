@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "common/parse.h"
 #include "mitigations/factory.h"
 #include "mitigations/mithril.h"
 #include "mitigations/pride.h"
@@ -90,26 +91,52 @@ DesignSpec::mithril(int trh)
 std::uint64_t
 ExperimentConfig::defaultInstsPerCore()
 {
-    if (const char* env = std::getenv("QPRAC_INSTS"))
-        return static_cast<std::uint64_t>(std::atoll(env));
-    return 300'000;
+    return envU64("QPRAC_INSTS", 300'000);
 }
 
 std::uint64_t
 ExperimentConfig::defaultLlcMb()
 {
-    if (const char* env = std::getenv("QPRAC_LLC_MB"))
-        return static_cast<std::uint64_t>(std::max(1, std::atoi(env)));
-    return 2;
+    return std::max<std::uint64_t>(1, envU64("QPRAC_LLC_MB", 2));
+}
+
+std::uint64_t
+ExperimentConfig::defaultSeed()
+{
+    return envU64("QPRAC_SEED", 0);
 }
 
 int
 ExperimentConfig::defaultThreads()
 {
-    if (const char* env = std::getenv("QPRAC_THREADS"))
-        return std::max(1, std::atoi(env));
+    if (std::getenv("QPRAC_THREADS"))
+        return std::max(1, envIntInRange("QPRAC_THREADS", 0, 1 << 20, 0));
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 2 : static_cast<int>(hw);
+}
+
+void
+parallelFor(std::size_t count, int threads,
+            const std::function<void(std::size_t)>& fn)
+{
+    auto want = static_cast<std::size_t>(std::max(1, threads));
+    // No point spawning workers that would find the counter drained.
+    want = std::min(want, count ? count : 1);
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t + 1 < want; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto& t : pool)
+        t.join();
 }
 
 SystemConfig
@@ -135,7 +162,8 @@ runOne(const Workload& workload, const DesignSpec& design,
     SystemConfig sys = makeSystemConfig(design, cfg);
     std::vector<std::unique_ptr<cpu::TraceSource>> traces;
     for (int c = 0; c < cfg.num_cores; ++c)
-        traces.push_back(makeTrace(workload, c, cfg.insts_per_core));
+        traces.push_back(makeTrace(workload, c, cfg.insts_per_core,
+                                   cfg.seed));
     System system(sys, design.factory, std::move(traces));
     return system.run();
 }
@@ -173,42 +201,27 @@ runComparison(const std::vector<Workload>& workloads,
                                         : designs.front().baseline_key;
 
     std::vector<WorkloadRow> rows(workloads.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        while (true) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= workloads.size())
-                return;
-            const Workload& wl = workloads[i];
-            WorkloadRow row;
-            row.workload = wl.name;
-            row.suite = wl.suite;
-            std::map<std::string, SimResult> base_results;
-            for (const auto& [key, base] : baselines)
-                base_results.emplace(key, runOne(wl, base, cfg));
-            row.baseline = base_results.at(primary_key);
-            row.base_rbmpki = row.baseline.rbmpki;
-            for (const auto& d : designs) {
-                DesignResult dr;
-                dr.label = d.label;
-                dr.sim = runOne(wl, d, cfg);
-                double base_ipc =
-                    base_results.at(d.baseline_key).ipc_sum;
-                dr.norm_perf =
-                    base_ipc > 0 ? dr.sim.ipc_sum / base_ipc : 0.0;
-                row.designs.push_back(std::move(dr));
-            }
-            rows[i] = std::move(row);
+    parallelFor(workloads.size(), cfg.threads, [&](std::size_t i) {
+        const Workload& wl = workloads[i];
+        WorkloadRow row;
+        row.workload = wl.name;
+        row.suite = wl.suite;
+        std::map<std::string, SimResult> base_results;
+        for (const auto& [key, base] : baselines)
+            base_results.emplace(key, runOne(wl, base, cfg));
+        row.baseline = base_results.at(primary_key);
+        row.base_rbmpki = row.baseline.rbmpki;
+        for (const auto& d : designs) {
+            DesignResult dr;
+            dr.label = d.label;
+            dr.sim = runOne(wl, d, cfg);
+            double base_ipc = base_results.at(d.baseline_key).ipc_sum;
+            dr.norm_perf =
+                base_ipc > 0 ? dr.sim.ipc_sum / base_ipc : 0.0;
+            row.designs.push_back(std::move(dr));
         }
-    };
-
-    int threads = std::max(1, cfg.threads);
-    std::vector<std::thread> pool;
-    for (int t = 0; t < threads - 1; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (auto& t : pool)
-        t.join();
+        rows[i] = std::move(row);
+    });
     return rows;
 }
 

@@ -7,6 +7,8 @@
 #ifndef QPRAC_SIM_EXPERIMENT_H
 #define QPRAC_SIM_EXPERIMENT_H
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -85,9 +87,19 @@ struct ExperimentConfig
      * paper's miss and activation behaviour; override with QPRAC_LLC_MB.
      */
     std::uint64_t llc_mb = defaultLlcMb();
+    /**
+     * Extra seed mixed into every trace RNG. 0 keeps the historical
+     * per-(workload, core) seeding so existing goldens are unchanged;
+     * any other value deterministically perturbs the whole run, and the
+     * same value always reproduces it (no env vars required).
+     */
+    std::uint64_t seed = defaultSeed();
 
     /** QPRAC_INSTS env var, else 300000. */
     static std::uint64_t defaultInstsPerCore();
+
+    /** QPRAC_SEED env var, else 0 (historical seeding). */
+    static std::uint64_t defaultSeed();
 
     /** QPRAC_THREADS env var, else hardware concurrency. */
     static int defaultThreads();
@@ -95,6 +107,16 @@ struct ExperimentConfig
     /** QPRAC_LLC_MB env var, else 2. */
     static std::uint64_t defaultLlcMb();
 };
+
+/**
+ * Run fn(0), ..., fn(count-1) across @p threads workers (clamped to
+ * count; values <= 1 run inline). Indices are claimed from a shared
+ * counter, so callers store results by index for deterministic
+ * ordering regardless of interleaving. Shared by runComparison and the
+ * scenario sweep runner.
+ */
+void parallelFor(std::size_t count, int threads,
+                 const std::function<void(std::size_t)>& fn);
 
 /** Fill a SystemConfig for one design (shared wiring for benches/tests). */
 SystemConfig makeSystemConfig(const DesignSpec& design,

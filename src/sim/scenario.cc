@@ -1,0 +1,898 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "attacks/panopticon_attacks.h"
+#include "attacks/perf_attack.h"
+#include "attacks/wave_attack.h"
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "common/parse.h"
+#include "core/service_queue.h"
+#include "dram/address.h"
+#include "mitigations/factory.h"
+#include "sim/system.h"
+#include "sim/workloads.h"
+
+namespace qprac::sim {
+
+namespace {
+
+constexpr const char* kWorkloadPrefix = "workload:";
+constexpr const char* kTracePrefix = "trace:";
+constexpr const char* kAttackPrefix = "attack:";
+
+bool
+hasWorkload(const std::string& name)
+{
+    for (const auto& w : workloadSuite())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
+bool
+startsWith(const std::string& s, const char* prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+} // namespace
+
+bool
+parseSource(const std::string& text, SourceKind* kind, std::string* name)
+{
+    std::string t = trimmed(text);
+    if (startsWith(t, kWorkloadPrefix)) {
+        *kind = SourceKind::Workload;
+        *name = t.substr(std::string(kWorkloadPrefix).size());
+        return !name->empty();
+    }
+    if (startsWith(t, kTracePrefix)) {
+        *kind = SourceKind::TraceFile;
+        *name = t.substr(std::string(kTracePrefix).size());
+        return !name->empty();
+    }
+    if (startsWith(t, kAttackPrefix)) {
+        *kind = SourceKind::Attack;
+        *name = t.substr(std::string(kAttackPrefix).size());
+        return !name->empty();
+    }
+    // Bare names are workloads (the legacy --workload form).
+    *kind = SourceKind::Workload;
+    *name = t;
+    return !t.empty();
+}
+
+// --- ScenarioConfig ---------------------------------------------------
+
+const std::vector<std::string>&
+ScenarioConfig::keys()
+{
+    static const std::vector<std::string> k = {
+        "source",   "mitigation", "backend", "psq_size", "nbo",
+        "nmit",     "channels",   "ranks",   "mapping",  "insts",
+        "cores",    "seed",       "llc_mb",  "threads",  "baseline",
+    };
+    return k;
+}
+
+bool
+ScenarioConfig::set(const std::string& key, const std::string& value,
+                    std::string* err)
+{
+    auto fail = [&](const std::string& why) {
+        if (err)
+            *err = strCat(key, "='", value, "': ", why);
+        return false;
+    };
+
+    if (key == "source") {
+        SourceKind kind;
+        std::string name;
+        if (!parseSource(value, &kind, &name))
+            return fail("empty or malformed source");
+        if (kind == SourceKind::Workload && !hasWorkload(name))
+            return fail("unknown workload");
+        if (kind == SourceKind::Attack &&
+            !ScenarioRegistry::instance().has(value))
+            return fail("unknown attack family");
+        // Normalize to the canonical prefixed form.
+        switch (kind) {
+        case SourceKind::Workload:
+            source = strCat(kWorkloadPrefix, name);
+            break;
+        case SourceKind::TraceFile:
+            source = strCat(kTracePrefix, name);
+            break;
+        case SourceKind::Attack:
+            source = strCat(kAttackPrefix, name);
+            break;
+        }
+        return true;
+    }
+    if (key == "mitigation") {
+        std::string m = trimmed(value);
+        if (!mitigations::MitigationRegistry::instance().has(m))
+            return fail("unknown mitigation design (see --list-designs)");
+        mitigation = m;
+        return true;
+    }
+    if (key == "backend") {
+        std::string b = trimmed(value);
+        core::SqBackendKind kind;
+        if (!b.empty() && !core::parseSqBackend(b, &kind))
+            return fail("unknown service-queue backend");
+        backend = b;
+        return true;
+    }
+    if (key == "psq_size")
+        return parseIntInRange(value, 0, 1024, &psq_size) ||
+               fail("expected an integer in [0, 1024]");
+    if (key == "nbo")
+        return parseIntInRange(value, 1, 1'000'000, &nbo) ||
+               fail("expected an integer in [1, 1000000]");
+    if (key == "nmit")
+        return parseIntInRange(value, 1, 64, &nmit) ||
+               fail("expected an integer in [1, 64]");
+    if (key == "channels") {
+        int v = 0;
+        if (!parseIntInRange(value, 1, 64, &v) ||
+            !isPowerOfTwo(static_cast<std::uint64_t>(v)))
+            return fail("expected a power of two in [1, 64]");
+        channels = v;
+        return true;
+    }
+    if (key == "ranks") {
+        int v = 0;
+        if (!parseIntInRange(value, 1, 64, &v) ||
+            !isPowerOfTwo(static_cast<std::uint64_t>(v)))
+            return fail("expected a power of two in [1, 64]");
+        ranks = v;
+        return true;
+    }
+    if (key == "mapping") {
+        dram::MappingScheme scheme;
+        if (!dram::parseMappingScheme(trimmed(value), &scheme))
+            return fail("unknown mapping scheme");
+        mapping = dram::mappingSchemeName(scheme);
+        return true;
+    }
+    if (key == "insts") {
+        // 0 is the "harness default" sentinel (QPRAC_INSTS or 300000),
+        // spelled "default" so a config can't silently request a
+        // degenerate zero-instruction run.
+        if (trimmed(value) == "default") {
+            insts = 0;
+            return true;
+        }
+        std::uint64_t v = 0;
+        if (!parseU64(value, &v) || v == 0)
+            return fail("expected a positive integer or 'default'");
+        insts = v;
+        return true;
+    }
+    if (key == "cores")
+        return parseIntInRange(value, 1, 1024, &cores) ||
+               fail("expected an integer in [1, 1024]");
+    if (key == "seed")
+        return parseU64(value, &seed) ||
+               fail("expected a non-negative integer");
+    if (key == "llc_mb") {
+        std::uint64_t v = 0;
+        if (!parseU64(value, &v) || v > 16384)
+            return fail("expected an integer in [0, 16384]");
+        llc_mb = v;
+        return true;
+    }
+    if (key == "threads")
+        return parseIntInRange(value, 0, 4096, &threads) ||
+               fail("expected an integer in [0, 4096]");
+    if (key == "baseline")
+        return parseBool(value, &baseline) ||
+               fail("expected true/false");
+    if (err)
+        *err = strCat("unknown config key '", key, "'");
+    return false;
+}
+
+std::string
+ScenarioConfig::get(const std::string& key) const
+{
+    if (key == "source")
+        return source;
+    if (key == "mitigation")
+        return mitigation;
+    if (key == "backend")
+        return backend;
+    if (key == "psq_size")
+        return std::to_string(psq_size);
+    if (key == "nbo")
+        return std::to_string(nbo);
+    if (key == "nmit")
+        return std::to_string(nmit);
+    if (key == "channels")
+        return std::to_string(channels);
+    if (key == "ranks")
+        return std::to_string(ranks);
+    if (key == "mapping")
+        return mapping;
+    if (key == "insts")
+        return insts ? std::to_string(insts) : "default";
+    if (key == "cores")
+        return std::to_string(cores);
+    if (key == "seed")
+        return std::to_string(seed);
+    if (key == "llc_mb")
+        return std::to_string(llc_mb);
+    if (key == "threads")
+        return std::to_string(threads);
+    if (key == "baseline")
+        return baseline ? "true" : "false";
+    fatal(strCat("ScenarioConfig::get: unknown key '", key, "'"));
+}
+
+std::string
+ScenarioConfig::toIni() const
+{
+    std::string out = "# qprac scenario\n";
+    for (const auto& key : keys())
+        out += strCat(key, " = ", get(key), "\n");
+    return out;
+}
+
+bool
+ScenarioConfig::fromIniText(const std::string& text, ScenarioConfig* out,
+                            std::string* err)
+{
+    // Applies onto *out, so a file can sparsely override a caller's
+    // starting point (the CLI seeds its legacy defaults first); *out is
+    // untouched on error.
+    ScenarioConfig cfg = *out;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string t = trimmed(line);
+        if (t.empty() || t[0] == '#' || t[0] == ';')
+            continue;
+        if (t.front() == '[') {
+            // Section headers carry no meaning (the key space is flat)
+            // but are accepted so configs can be visually grouped.
+            if (t.back() != ']') {
+                if (err)
+                    *err = strCat("line ", lineno,
+                                  ": unterminated section header");
+                return false;
+            }
+            continue;
+        }
+        std::size_t eq = t.find('=');
+        if (eq == std::string::npos) {
+            if (err)
+                *err = strCat("line ", lineno,
+                              ": expected 'key = value', got '", t, "'");
+            return false;
+        }
+        std::string key = trimmed(t.substr(0, eq));
+        std::string value = trimmed(t.substr(eq + 1));
+        std::string set_err;
+        if (!cfg.set(key, value, &set_err)) {
+            if (err)
+                *err = strCat("line ", lineno, ": ", set_err);
+            return false;
+        }
+    }
+    *out = cfg;
+    return true;
+}
+
+bool
+ScenarioConfig::fromFile(const std::string& path, ScenarioConfig* out,
+                         std::string* err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = strCat("cannot open config file '", path, "'");
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!fromIniText(text.str(), out, err)) {
+        if (err)
+            *err = strCat(path, ": ", *err);
+        return false;
+    }
+    return true;
+}
+
+bool
+ScenarioConfig::validate(std::string* err) const
+{
+    // Benches and tests may mutate fields directly, so re-run the
+    // per-key validation on every field's canonical form.
+    ScenarioConfig probe;
+    for (const auto& key : keys())
+        if (!probe.set(key, get(key), err))
+            return false;
+    if (sourceKind() == SourceKind::Attack && channels != 1) {
+        if (err)
+            *err = "attack scenarios are single-channel event models";
+        return false;
+    }
+    return true;
+}
+
+SourceKind
+ScenarioConfig::sourceKind() const
+{
+    SourceKind kind;
+    std::string name;
+    if (!parseSource(source, &kind, &name))
+        fatal(strCat("bad scenario source '", source, "'"));
+    return kind;
+}
+
+std::string
+ScenarioConfig::sourceName() const
+{
+    SourceKind kind;
+    std::string name;
+    if (!parseSource(source, &kind, &name))
+        fatal(strCat("bad scenario source '", source, "'"));
+    return name;
+}
+
+ExperimentConfig
+ScenarioConfig::experiment() const
+{
+    ExperimentConfig e;
+    e.insts_per_core =
+        insts ? insts : ExperimentConfig::defaultInstsPerCore();
+    e.num_cores = cores;
+    e.threads = threads ? threads : ExperimentConfig::defaultThreads();
+    e.channels = channels;
+    e.ranks = ranks;
+    if (!dram::parseMappingScheme(mapping, &e.mapping))
+        fatal(strCat("bad mapping scheme '", mapping, "'"));
+    e.llc_mb = llc_mb ? llc_mb : ExperimentConfig::defaultLlcMb();
+    e.seed = seed ? seed : ExperimentConfig::defaultSeed();
+    return e;
+}
+
+DesignSpec
+ScenarioConfig::design() const
+{
+    mitigations::MitigationParams params;
+    params.nbo = nbo;
+    params.nmit = nmit;
+    params.psq_size = psq_size;
+    if (!backend.empty()) {
+        core::SqBackendKind kind;
+        if (!core::parseSqBackend(backend, &kind))
+            fatal(strCat("unknown backend '", backend, "'"));
+        params.backend = kind;
+    }
+
+    DesignSpec d;
+    d.label = mitigation;
+    d.abo.enabled = mitigation != "none";
+    d.abo.nmit = nmit;
+    d.factory = [name = mitigation,
+                 params](dram::PracCounters* counters) {
+        return mitigations::MitigationRegistry::instance().create(
+            name, params, counters);
+    };
+    // RFM-paced designs have no ABO alert; the controller supplies
+    // their mitigation slots (nbo doubles as the target TRH).
+    if (mitigation == "pride" || mitigation == "mithril") {
+        d.abo.enabled = false;
+        d.timing = dram::TimingParams::ddr5NoPrac();
+        d.baseline_key = "noprac";
+        d.rfm_policy = mitigation == "pride"
+                           ? mitigations::RfmPolicy::forPride(nbo)
+                           : mitigations::RfmPolicy::forMithril(nbo);
+    }
+    return d;
+}
+
+std::vector<std::unique_ptr<cpu::TraceSource>>
+buildScenarioTraces(const ScenarioConfig& cfg)
+{
+    ExperimentConfig ecfg = cfg.experiment();
+    std::vector<std::unique_ptr<cpu::TraceSource>> traces;
+    switch (cfg.sourceKind()) {
+    case SourceKind::Workload: {
+        const Workload& w = findWorkload(cfg.sourceName());
+        for (int c = 0; c < cfg.cores; ++c)
+            traces.push_back(
+                makeTrace(w, c, ecfg.insts_per_core, ecfg.seed));
+        break;
+    }
+    case SourceKind::TraceFile:
+        for (int c = 0; c < cfg.cores; ++c)
+            traces.push_back(
+                std::make_unique<cpu::FileTraceSource>(cfg.sourceName()));
+        break;
+    case SourceKind::Attack:
+        fatal("attack scenarios have no trace sources");
+    }
+    return traces;
+}
+
+// --- ScenarioResult ---------------------------------------------------
+
+std::string
+ScenarioResult::resultJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("kind").value(is_attack ? "attack" : "system");
+    w.key("cycles").value(static_cast<std::uint64_t>(sim.cycles));
+    w.key("ipc_sum").value(sim.ipc_sum);
+    w.key("rbmpki").value(sim.rbmpki);
+    w.key("alerts_per_trefi").value(sim.alerts_per_trefi);
+    w.key("acts").value(sim.acts);
+    if (has_baseline)
+        w.key("norm_perf").value(norm_perf);
+    w.key("stats").beginObject();
+    for (const auto& [name, value] : stats.entries())
+        w.key(name).value(value);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ScenarioResult::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("scenario").beginObject();
+    for (const auto& key : ScenarioConfig::keys())
+        w.key(key).value(config.get(key));
+    w.endObject();
+    w.key("result").raw(resultJson());
+    w.endObject();
+    return w.str();
+}
+
+std::vector<std::string>
+ScenarioResult::csvHeader()
+{
+    std::vector<std::string> h = ScenarioConfig::keys();
+    h.insert(h.end(), {"kind", "cycles", "ipc_sum", "rbmpki",
+                       "alerts_per_trefi", "acts", "norm_perf",
+                       "attack_stats"});
+    return h;
+}
+
+std::vector<std::string>
+ScenarioResult::csvRow() const
+{
+    std::vector<std::string> row;
+    for (const auto& key : ScenarioConfig::keys())
+        row.push_back(config.get(key));
+    row.push_back(is_attack ? "attack" : "system");
+    // Cells that don't apply to a row are blank, never zero (an attack
+    // row has no cycle/IPC aggregates for a consumer to average).
+    if (is_attack) {
+        row.insert(row.end(), 6, "");
+    } else {
+        row.push_back(
+            std::to_string(static_cast<std::uint64_t>(sim.cycles)));
+        row.push_back(CsvWriter::num(sim.ipc_sum));
+        row.push_back(CsvWriter::num(sim.rbmpki));
+        row.push_back(CsvWriter::num(sim.alerts_per_trefi));
+        row.push_back(CsvWriter::num(sim.acts));
+        row.push_back(has_baseline ? CsvWriter::num(norm_perf) : "");
+    }
+    // Attack families report through their attack.* counters, which
+    // have no fixed column set; pack them as k=v pairs so the CSV
+    // carries the full result (system rows leave the column empty —
+    // their stats are the per-run stat dump, not row aggregates).
+    std::string packed;
+    if (is_attack)
+        for (const auto& [name, value] : stats.entries()) {
+            if (!packed.empty())
+                packed += ';';
+            packed += name + "=" + CsvWriter::num(value);
+        }
+    row.push_back(packed);
+    return row;
+}
+
+// --- ScenarioRegistry -------------------------------------------------
+
+namespace {
+
+bool
+mentionsProactive(const std::string& mitigation)
+{
+    return mitigation.find("proactive") != std::string::npos;
+}
+
+StatSet
+runWaveScenario(const ScenarioConfig& cfg)
+{
+    attacks::WaveAttackConfig a;
+    a.nbo = cfg.nbo;
+    a.nmit = cfg.nmit;
+    if (cfg.psq_size > 0)
+        a.psq_size = cfg.psq_size;
+    a.ideal = cfg.mitigation.find("ideal") != std::string::npos;
+    a.proactive = mentionsProactive(cfg.mitigation);
+    attacks::WaveAttackResult r = attacks::simulateWaveAttack(a);
+    StatSet s;
+    s.set("attack.max_count", static_cast<double>(r.max_count));
+    s.set("attack.rounds", static_cast<double>(r.rounds));
+    s.set("attack.alerts", static_cast<double>(r.alerts));
+    s.set("attack.total_acts", static_cast<double>(r.total_acts));
+    s.set("attack.pool_after_setup",
+          static_cast<double>(r.pool_after_setup));
+    return s;
+}
+
+StatSet
+runPerfScenario(const ScenarioConfig& cfg)
+{
+    attacks::PerfAttackConfig a;
+    a.nbo = cfg.nbo;
+    a.nmit = cfg.nmit;
+    a.proactive = mentionsProactive(cfg.mitigation);
+    a.mitigation_enabled = cfg.mitigation != "none";
+    attacks::PerfAttackResult r = attacks::runPerfAttack(a);
+    StatSet s;
+    s.set("attack.acts", static_cast<double>(r.acts));
+    s.set("attack.alerts", static_cast<double>(r.alerts));
+    s.set("attack.cycles", static_cast<double>(r.cycles));
+    s.set("attack.acts_per_kcycle", r.actsPerKiloCycle());
+    if (cfg.baseline)
+        s.set("attack.bandwidth_loss_pct", attacks::bandwidthLossPct(a));
+    return s;
+}
+
+StatSet
+panopticonStats(const attacks::AttackOutcome& r)
+{
+    StatSet s;
+    s.set("attack.target_unmitigated_acts",
+          static_cast<double>(r.target_unmitigated_acts));
+    s.set("attack.total_acts", static_cast<double>(r.total_acts));
+    s.set("attack.alerts", static_cast<double>(r.alerts));
+    s.set("attack.target_mitigated", r.target_was_mitigated ? 1.0 : 0.0);
+    return s;
+}
+
+attacks::PanopticonAttackConfig
+panopticonConfig(const ScenarioConfig& cfg)
+{
+    attacks::PanopticonAttackConfig a;
+    if (cfg.psq_size > 0)
+        a.queue_size = cfg.psq_size;
+    a.nmit = cfg.nmit;
+    return a;
+}
+
+} // namespace
+
+ScenarioRegistry::ScenarioRegistry()
+{
+    registerAttack(
+        "wave",
+        "Wave/Feinting attack on QPRAC's bounded PSQ (paper §IV-A/B)",
+        runWaveScenario);
+    registerAttack(
+        "perf",
+        "multi-bank alert-storm performance attack (paper §VI-E)",
+        runPerfScenario);
+    registerAttack(
+        "toggle-forget",
+        "Toggle+Forget on t-bit FIFO PRAC (paper Fig 2)",
+        [](const ScenarioConfig& cfg) {
+            return panopticonStats(
+                attacks::toggleForgetAttack(panopticonConfig(cfg)));
+        });
+    registerAttack(
+        "fill-escape",
+        "Fill+Escape on full-counter FIFO PRAC (paper Fig 3)",
+        [](const ScenarioConfig& cfg) {
+            return panopticonStats(
+                attacks::fillEscapeAttack(panopticonConfig(cfg)));
+        });
+    registerAttack(
+        "blocking-tbit",
+        "blocking t-bit variant, ABO_ACT cannot toggle (paper Fig 23)",
+        [](const ScenarioConfig& cfg) {
+            return panopticonStats(
+                attacks::blockingTbitAttack(panopticonConfig(cfg)));
+        });
+}
+
+ScenarioRegistry&
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+bool
+ScenarioRegistry::has(const std::string& source) const
+{
+    SourceKind kind;
+    std::string name;
+    if (!parseSource(source, &kind, &name))
+        return false;
+    switch (kind) {
+    case SourceKind::Workload:
+        return hasWorkload(name);
+    case SourceKind::TraceFile:
+        return !name.empty();
+    case SourceKind::Attack:
+        return attacks_.count(name) > 0;
+    }
+    return false;
+}
+
+std::vector<ScenarioRegistry::SourceInfo>
+ScenarioRegistry::sources() const
+{
+    std::vector<SourceInfo> out;
+    for (const auto& w : workloadSuite())
+        out.push_back({strCat(kWorkloadPrefix, w.name),
+                       SourceKind::Workload,
+                       strCat(w.suite, " profile, ~",
+                              static_cast<int>(w.expectedRbmpki()),
+                              " RBMPKI")});
+    for (const auto& name : attack_order_)
+        out.push_back({strCat(kAttackPrefix, name), SourceKind::Attack,
+                       attacks_.at(name).description});
+    return out;
+}
+
+void
+ScenarioRegistry::registerAttack(const std::string& name,
+                                 const std::string& description,
+                                 AttackRunner run)
+{
+    if (!attacks_.count(name))
+        attack_order_.push_back(name);
+    attacks_[name] = AttackEntry{description, std::move(run)};
+}
+
+ScenarioResult
+ScenarioRegistry::run(const ScenarioConfig& cfg) const
+{
+    std::string err;
+    if (!cfg.validate(&err))
+        fatal(strCat("invalid scenario: ", err));
+
+    ScenarioResult res;
+    res.config = cfg;
+
+    if (cfg.sourceKind() == SourceKind::Attack) {
+        auto it = attacks_.find(cfg.sourceName());
+        if (it == attacks_.end())
+            fatal(strCat("unknown attack scenario '", cfg.source, "'"));
+        res.is_attack = true;
+        res.stats = it->second.run(cfg);
+        return res;
+    }
+
+    ExperimentConfig ecfg = cfg.experiment();
+    DesignSpec d = cfg.design();
+    {
+        SystemConfig sys = makeSystemConfig(d, ecfg);
+        System system(sys, d.factory, buildScenarioTraces(cfg));
+        res.sim = system.run();
+    }
+    res.stats = res.sim.stats;
+    if (cfg.baseline) {
+        // The insecure baseline: no ABO, no mitigation, primary (PRAC)
+        // timings — exactly the reference qprac_sim --baseline ran
+        // before the redesign (bit-identity is golden-pinned). Note
+        // this deliberately does NOT honour DesignSpec::baseline_key:
+        // for pride/mithril the design runs conventional DDR5 timings
+        // while this baseline keeps PRAC timings, so norm_perf mixes
+        // timing and mitigation effects. Use runComparison for the
+        // paper's per-timing-key normalization (Fig 20 methodology).
+        DesignSpec base;
+        base.label = "baseline";
+        base.abo.enabled = false;
+        SystemConfig sys = makeSystemConfig(base, ecfg);
+        System system(sys, base.factory, buildScenarioTraces(cfg));
+        res.baseline_sim = system.run();
+        res.has_baseline = true;
+        res.norm_perf = res.baseline_sim.ipc_sum > 0
+                            ? res.sim.ipc_sum / res.baseline_sim.ipc_sum
+                            : 0.0;
+    }
+    return res;
+}
+
+ScenarioResult
+runScenario(const ScenarioConfig& cfg)
+{
+    return ScenarioRegistry::instance().run(cfg);
+}
+
+// --- Sweeps -----------------------------------------------------------
+
+bool
+SweepAxis::parse(const std::string& text, SweepAxis* out, std::string* err)
+{
+    auto fail = [&](const std::string& why) {
+        if (err)
+            *err = strCat("sweep '", text, "': ", why);
+        return false;
+    };
+    std::size_t eq = text.find('=');
+    if (eq == std::string::npos)
+        return fail("expected key=values");
+    std::string key = trimmed(text.substr(0, eq));
+    std::string rest = trimmed(text.substr(eq + 1));
+    const auto& valid = ScenarioConfig::keys();
+    if (std::find(valid.begin(), valid.end(), key) == valid.end())
+        return fail(strCat("unknown config key '", key, "'"));
+    if (rest.empty())
+        return fail("empty value list");
+
+    SweepAxis axis;
+    axis.key = key;
+
+    // "lo:hi" / "lo:hi:step" integer ranges; anything else is a comma
+    // list (so trace paths containing ':' still work as list values).
+    std::vector<std::string> colon_parts;
+    {
+        std::size_t start = 0;
+        while (true) {
+            std::size_t c = rest.find(':', start);
+            if (c == std::string::npos) {
+                colon_parts.push_back(rest.substr(start));
+                break;
+            }
+            colon_parts.push_back(rest.substr(start, c - start));
+            start = c + 1;
+        }
+    }
+    if (colon_parts.size() == 2 || colon_parts.size() == 3) {
+        std::int64_t lo = 0, hi = 0, step = 1;
+        bool ints = parseI64(colon_parts[0], &lo) &&
+                    parseI64(colon_parts[1], &hi) &&
+                    (colon_parts.size() == 2 ||
+                     parseI64(colon_parts[2], &step));
+        if (ints) {
+            if (step < 1)
+                return fail("range step must be >= 1");
+            if (lo > hi)
+                return fail("range low end exceeds high end");
+            // Unsigned span arithmetic: correct for any int64 pair
+            // with hi >= lo, no signed overflow. Bound the axis before
+            // materializing anything — a typo'd range must fail
+            // loudly, not eat all memory. The guard compares span/step
+            // (not span/step + 1, which wraps to 0 for a full-int64
+            // span at step 1).
+            std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                                 static_cast<std::uint64_t>(lo);
+            constexpr std::uint64_t kMaxRangePoints = 100'000;
+            if (span / static_cast<std::uint64_t>(step) >=
+                kMaxRangePoints)
+                return fail(strCat("range enumerates more than ",
+                                   kMaxRangePoints, " values"));
+            std::uint64_t count =
+                span / static_cast<std::uint64_t>(step) + 1;
+            std::int64_t v = lo;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                axis.values.push_back(std::to_string(v));
+                // lo + (count-1)*step <= hi, so the increments taken
+                // here never pass hi and cannot overflow.
+                if (i + 1 < count)
+                    v += step;
+            }
+            *out = axis;
+            return true;
+        }
+    }
+
+    std::size_t start = 0;
+    while (start <= rest.size()) {
+        std::size_t comma = rest.find(',', start);
+        std::string item =
+            trimmed(comma == std::string::npos
+                        ? rest.substr(start)
+                        : rest.substr(start, comma - start));
+        if (item.empty())
+            return fail("empty value in list");
+        axis.values.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    *out = axis;
+    return true;
+}
+
+bool
+SweepSpec::add(const std::string& text, std::string* err)
+{
+    SweepAxis axis;
+    if (!SweepAxis::parse(text, &axis, err))
+        return false;
+    // A duplicate key would enumerate a grid where the later axis
+    // silently overwrites the earlier one's override on every point
+    // (mislabeled rows, duplicate JSON keys).
+    for (const auto& existing : axes)
+        if (existing.key == axis.key) {
+            if (err)
+                *err = strCat("sweep '", text, "': duplicate axis '",
+                              axis.key, "'");
+            return false;
+        }
+    axes.push_back(std::move(axis));
+    return true;
+}
+
+std::size_t
+SweepSpec::points() const
+{
+    std::size_t n = 1;
+    for (const auto& axis : axes)
+        n *= axis.values.size();
+    return n;
+}
+
+std::vector<std::vector<std::pair<std::string, std::string>>>
+SweepSpec::enumerate() const
+{
+    std::vector<std::vector<std::pair<std::string, std::string>>> out;
+    out.emplace_back(); // the base point: no overrides
+    for (const auto& axis : axes) {
+        std::vector<std::vector<std::pair<std::string, std::string>>> next;
+        for (const auto& point : out) {
+            for (const auto& value : axis.values) {
+                auto extended = point;
+                extended.emplace_back(axis.key, value);
+                next.push_back(std::move(extended));
+            }
+        }
+        out = std::move(next);
+    }
+    return out;
+}
+
+std::vector<SweepPointResult>
+runSweep(const ScenarioConfig& base, const SweepSpec& spec,
+         std::string* err)
+{
+    auto points = spec.enumerate();
+
+    // Materialize and validate every point's config up front so a bad
+    // override fails fast instead of mid-sweep.
+    std::vector<ScenarioConfig> configs;
+    configs.reserve(points.size());
+    for (const auto& overrides : points) {
+        ScenarioConfig cfg = base;
+        for (const auto& [key, value] : overrides)
+            if (!cfg.set(key, value, err))
+                return {};
+        if (!cfg.validate(err))
+            return {};
+        configs.push_back(std::move(cfg));
+    }
+
+    std::vector<SweepPointResult> results(points.size());
+    int threads =
+        base.threads ? base.threads : ExperimentConfig::defaultThreads();
+    parallelFor(results.size(), threads, [&](std::size_t i) {
+        results[i].overrides = points[i];
+        results[i].result = runScenario(configs[i]);
+    });
+    return results;
+}
+
+} // namespace qprac::sim

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Declarative scenario API — the single configuration surface for the
+ * evaluation grid (paper Figs 14-22 and the attack studies).
+ *
+ * A ScenarioConfig is one flat, typed key=value record that fully
+ * describes a run: the source (synthetic workload, trace file, or one
+ * of the event-level attack families), the design under test
+ * (mitigation + backend + PSQ/ABO knobs), the memory geometry, and the
+ * run length/seed. It parses from an INI-style config file, accepts
+ * `--set key=value` overrides, serializes back to canonical INI
+ * (parse -> serialize -> parse is the identity), and builds the
+ * concrete harness objects (ExperimentConfig, DesignSpec, traces) that
+ * tools, benches and tests previously each wired up by hand.
+ *
+ * A SweepSpec enumerates axes over those keys
+ * (`psq_size=1:9`, `backend=linear,heap`) and runSweep() executes the
+ * cross-product in parallel with deterministic result ordering.
+ * Results are emitted through one structured layer: ScenarioResult
+ * carries a unified StatSet plus JSON/CSV serialization.
+ */
+#ifndef QPRAC_SIM_SCENARIO_H
+#define QPRAC_SIM_SCENARIO_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "cpu/trace.h"
+#include "sim/experiment.h"
+
+namespace qprac::sim {
+
+/** What a scenario's `source` key names. */
+enum class SourceKind
+{
+    Workload, ///< synthetic workload profile ("workload:429.mcf")
+    TraceFile, ///< Ramulator2-style trace file ("trace:path/to.trace")
+    Attack, ///< event-level attack family ("attack:wave")
+};
+
+/** Split a source string into kind and name; false on unknown prefix. */
+bool parseSource(const std::string& text, SourceKind* kind,
+                 std::string* name);
+
+/**
+ * One fully-described run. Every field has a `key = value` form; see
+ * keys() for the canonical order. Numeric fields are validated on
+ * set() through common/parse (garbage and out-of-range values are
+ * rejected with a message, never silently coerced).
+ */
+struct ScenarioConfig
+{
+    // --- source -------------------------------------------------------
+    std::string source = "workload:429.mcf";
+
+    // --- design under test -------------------------------------------
+    std::string mitigation = "qprac+proactive-ea";
+    std::string backend; ///< QPRAC service-queue backend ("" = default)
+    int psq_size = 0;    ///< PSQ entries per bank (0 = design default)
+    int nbo = 32;        ///< Back-Off threshold
+    int nmit = 1;        ///< RFMs per alert
+
+    // --- geometry -----------------------------------------------------
+    int channels = 1;
+    int ranks = 2;
+    std::string mapping = "row-major";
+
+    // --- run ----------------------------------------------------------
+    /**
+     * Per-core instructions. 0 means "harness default" (QPRAC_INSTS or
+     * 300000) and serializes as the explicit string "default" — a
+     * config cannot silently request a zero-instruction run.
+     */
+    std::uint64_t insts = 0;
+    int cores = 4;
+    std::uint64_t seed = 0;   ///< extra trace-RNG seed (0 = base seeding)
+    std::uint64_t llc_mb = 0; ///< LLC size (0 = harness default)
+    int threads = 0;          ///< sweep parallelism (0 = hardware)
+    bool baseline = false;    ///< also run the insecure baseline
+
+    /** Canonical key order (serialization and listings). */
+    static const std::vector<std::string>& keys();
+
+    /**
+     * Set one key from its string form; false (with *err) on unknown
+     * keys or invalid values. Valid values are normalized (e.g. a bare
+     * workload name becomes "workload:NAME").
+     */
+    bool set(const std::string& key, const std::string& value,
+             std::string* err);
+
+    /** Canonical string form of one key; fatal() on unknown keys. */
+    std::string get(const std::string& key) const;
+
+    /** Canonical INI serialization (one `key = value` line per key). */
+    std::string toIni() const;
+
+    /**
+     * Parse INI text: `key = value` lines, '#'/';' comments, blank
+     * lines and `[section]` headers (ignored) allowed. Unknown keys and
+     * invalid values fail with a line-numbered *err.
+     */
+    static bool fromIniText(const std::string& text, ScenarioConfig* out,
+                            std::string* err);
+
+    /** fromIniText over a file's contents. */
+    static bool fromFile(const std::string& path, ScenarioConfig* out,
+                         std::string* err);
+
+    /** Cross-field validation (source resolvable, geometry sane). */
+    bool validate(std::string* err) const;
+
+    /** Source kind of the current `source` value. */
+    SourceKind sourceKind() const;
+
+    /** Source name with the kind prefix stripped. */
+    std::string sourceName() const;
+
+    /** Harness config with 0-valued fields resolved to defaults. */
+    ExperimentConfig experiment() const;
+
+    /**
+     * Design under test as a DesignSpec (registry-built factory, ABO
+     * wiring, RFM pacing for PrIDE/Mithril) — the same construction
+     * qprac_sim's legacy flags performed.
+     */
+    DesignSpec design() const;
+};
+
+/** Per-core trace sources for a workload/trace scenario. */
+std::vector<std::unique_ptr<cpu::TraceSource>>
+buildScenarioTraces(const ScenarioConfig& cfg);
+
+/** Structured result of one scenario run. */
+struct ScenarioResult
+{
+    ScenarioConfig config;
+    bool is_attack = false;
+    SimResult sim;         ///< full-system result (zeroed for attacks)
+    bool has_baseline = false;
+    SimResult baseline_sim;
+    double norm_perf = 0.0; ///< ipc_sum vs baseline (when has_baseline)
+    StatSet stats; ///< unified stats: sim.stats or attack.* counters
+
+    /** {"scenario": {...}, "result": {...}} document. */
+    std::string toJson() const;
+
+    /** Just the "result" object (sweep documents embed many of them). */
+    std::string resultJson() const;
+
+    /** Column names for csvRow(). */
+    static std::vector<std::string> csvHeader();
+
+    /** One CSV row: config keys then the aggregate metrics. */
+    std::vector<std::string> csvRow() const;
+};
+
+/**
+ * Registry of runnable scenario sources: every synthetic workload, the
+ * trace-file reader, and the event-level attack families, behind the
+ * same run interface. Attack sources map the shared scenario knobs
+ * (nbo, nmit, psq_size, mitigation) onto their family's config.
+ */
+class ScenarioRegistry
+{
+  public:
+    using AttackRunner = std::function<StatSet(const ScenarioConfig&)>;
+
+    struct SourceInfo
+    {
+        std::string name; ///< canonical prefixed form ("attack:wave")
+        SourceKind kind;
+        std::string description;
+    };
+
+    static ScenarioRegistry& instance();
+
+    /** True when `source` can run (named workload or known attack). */
+    bool has(const std::string& source) const;
+
+    /** All registered named sources (workloads, then attacks). */
+    std::vector<SourceInfo> sources() const;
+
+    /** Register (or replace) an attack family. */
+    void registerAttack(const std::string& name,
+                        const std::string& description, AttackRunner run);
+
+    /** Run any scenario; fatal() on unresolvable sources. */
+    ScenarioResult run(const ScenarioConfig& cfg) const;
+
+  private:
+    ScenarioRegistry();
+
+    struct AttackEntry
+    {
+        std::string description;
+        AttackRunner run;
+    };
+
+    std::vector<std::string> attack_order_;
+    std::map<std::string, AttackEntry> attacks_;
+};
+
+/** ScenarioRegistry::instance().run(cfg). */
+ScenarioResult runScenario(const ScenarioConfig& cfg);
+
+/** One sweep axis: a config key and its value list. */
+struct SweepAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+
+    /**
+     * Parse "key=v1,v2,..." or the integer range forms "key=lo:hi" /
+     * "key=lo:hi:step". The key must name a ScenarioConfig key.
+     */
+    static bool parse(const std::string& text, SweepAxis* out,
+                      std::string* err);
+};
+
+/** A cross-product of sweep axes over ScenarioConfig keys. */
+struct SweepSpec
+{
+    std::vector<SweepAxis> axes;
+
+    /** Parse and append one axis (the --sweep argument form). */
+    bool add(const std::string& text, std::string* err);
+
+    /** Number of cross-product points (1 when no axes). */
+    std::size_t points() const;
+
+    /**
+     * Deterministic enumeration of the cross-product: the first axis
+     * varies slowest. No axes yields one empty override set (the base
+     * scenario); an axis with zero values yields zero points.
+     */
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+    enumerate() const;
+};
+
+/** One executed sweep point. */
+struct SweepPointResult
+{
+    std::vector<std::pair<std::string, std::string>> overrides;
+    ScenarioResult result;
+};
+
+/**
+ * Run the sweep cross-product over @p base in parallel
+ * (base.threads workers, 0 = hardware concurrency); results are in
+ * enumerate() order regardless of execution interleaving. Returns an
+ * empty vector with *err set when an override is invalid.
+ */
+std::vector<SweepPointResult> runSweep(const ScenarioConfig& base,
+                                       const SweepSpec& spec,
+                                       std::string* err);
+
+} // namespace qprac::sim
+
+#endif // QPRAC_SIM_SCENARIO_H

@@ -1,0 +1,423 @@
+#include "sim/scenario_cli.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "mitigations/factory.h"
+#include "sim/scenario.h"
+#include "sim/workloads.h"
+
+namespace qprac::sim {
+
+namespace {
+
+const char* const kUsage =
+    "usage: qprac_sim [--workload NAME | --trace PATH] "
+    "[--mitigation NAME] [--backend NAME] [--psq-size N] "
+    "[--nbo N] [--nmit N] [--insts N] [--cores N] "
+    "[--channels N] [--ranks N] [--mapping NAME] [--seed N] "
+    "[--baseline] [--stats] [--list] [--list-designs]\n"
+    "                 [--config FILE] [--set key=value]... "
+    "[--sweep key=values]... [--json] [--csv PATH]\n"
+    "\n"
+    "Every run is a scenario: legacy flags and --set overrides apply\n"
+    "in command-line order on top of --config FILE (an INI of\n"
+    "key = value lines; keys: source mitigation backend psq_size nbo\n"
+    "nmit channels ranks mapping insts cores seed llc_mb threads\n"
+    "baseline). Sources: workload:NAME, trace:PATH, attack:NAME.\n"
+    "--sweep takes key=v1,v2 or key=lo:hi[:step] and runs the\n"
+    "cross-product. --json / --csv emit structured results.\n";
+
+std::string
+listEverything()
+{
+    std::string out = "mitigations:\n";
+    for (const auto& m : mitigations::mitigationNames())
+        out += strCat("  ", m, "\n");
+    out += strCat("\nworkloads (", workloadSuite().size(), "):\n");
+    Table t({"name", "suite", "mem/ki", "miss/ki", "seq", "est. RBMPKI"});
+    for (const auto& w : workloadSuite())
+        t.addRow({w.name, w.suite, Table::num(w.mem_per_kilo, 0),
+                  Table::num(w.miss_per_kilo, 1), Table::num(w.seq_frac, 2),
+                  Table::num(w.expectedRbmpki(), 1)});
+    out += t.toString();
+    out += "\nattack scenarios (select with --set source=attack:NAME):\n";
+    Table a({"source", "description"});
+    for (const auto& s : ScenarioRegistry::instance().sources())
+        if (s.kind == SourceKind::Attack)
+            a.addRow({s.name, s.description});
+    out += a.toString();
+    return out;
+}
+
+std::string
+listDesigns()
+{
+    auto& registry = mitigations::MitigationRegistry::instance();
+    std::string out = "designs (select with --mitigation):\n";
+    Table t({"name", "description"});
+    for (const auto& name : registry.names())
+        t.addRow({name, registry.description(name)});
+    out += t.toString();
+    out += "\nqprac designs accept an @backend suffix "
+           "(linear | heap | coalescing), e.g. qprac@heap.\n";
+    return out;
+}
+
+/** The paper-style attack stat counters are integers; print them so. */
+std::string
+statCell(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        return Table::num(v, 0);
+    return Table::num(v, 4);
+}
+
+std::string
+legacyRunReport(const ScenarioResult& res, bool dump_stats)
+{
+    const ScenarioConfig& cfg = res.config;
+    ExperimentConfig ecfg = cfg.experiment();
+    char banner[512];
+    std::snprintf(banner, sizeof banner,
+                  "=== qprac_sim: %s on %s, %d cores x %llu insts, "
+                  "%d channel%s (%s) ===\n",
+                  cfg.mitigation.c_str(), cfg.sourceName().c_str(),
+                  cfg.cores,
+                  static_cast<unsigned long long>(ecfg.insts_per_core),
+                  cfg.channels, cfg.channels == 1 ? "" : "s",
+                  cfg.mapping.c_str());
+    std::string out = banner;
+
+    Table t({"metric", "value"});
+    t.addRow({"cycles",
+              Table::num(static_cast<double>(res.sim.cycles), 0)});
+    t.addRow({"IPC (sum)", Table::num(res.sim.ipc_sum, 3)});
+    t.addRow({"RBMPKI", Table::num(res.sim.rbmpki, 2)});
+    t.addRow({"alerts/tREFI", Table::num(res.sim.alerts_per_trefi, 4)});
+    t.addRow({"activations", Table::num(res.sim.acts, 0)});
+    t.addRow({"RFM mitigations",
+              Table::num(res.sim.stats.getOr("mit.rfm_mitigations", 0),
+                         0)});
+    t.addRow(
+        {"proactive mitigations",
+         Table::num(res.sim.stats.getOr("mit.proactive_mitigations", 0),
+                    0)});
+    if (cfg.channels > 1) {
+        for (int c = 0; c < cfg.channels; ++c) {
+            std::string p = "ch" + std::to_string(c) + ".";
+            t.addRow(
+                {p + "activations",
+                 Table::num(res.sim.stats.getOr(p + "dram.acts", 0), 0)});
+            t.addRow(
+                {p + "alerts",
+                 Table::num(res.sim.stats.getOr(p + "ctrl.alerts", 0),
+                            0)});
+        }
+    }
+    if (res.has_baseline)
+        t.addRow(
+            {"normalized performance", Table::num(res.norm_perf, 4)});
+    out += t.toString();
+    if (dump_stats)
+        out += res.sim.stats.toString();
+    return out;
+}
+
+std::string
+attackRunReport(const ScenarioResult& res)
+{
+    const ScenarioConfig& cfg = res.config;
+    std::string out = strCat("=== qprac_sim: ", cfg.source,
+                             " (mitigation ", cfg.mitigation, ", NBO ",
+                             cfg.nbo, ", Nmit ", cfg.nmit, ") ===\n");
+    Table t({"metric", "value"});
+    for (const auto& [name, value] : res.stats.entries())
+        t.addRow({name, statCell(value)});
+    out += t.toString();
+    return out;
+}
+
+std::string
+sweepReport(const SweepSpec& spec,
+            const std::vector<SweepPointResult>& results)
+{
+    std::string out =
+        strCat("=== qprac_sim sweep: ", results.size(), " point",
+               results.size() == 1 ? "" : "s", " ===\n");
+
+    // A sweep can mix kinds (e.g. source=429.mcf,attack:wave) and
+    // attack families with different counters, so the columns are the
+    // union over all points; cells that don't apply to a row are
+    // blank, never zero.
+    bool any_system = false;
+    bool any_attack = false;
+    bool any_baseline = false;
+    std::vector<std::string> attack_stats; // union, first-seen order
+    for (const auto& point : results) {
+        const ScenarioResult& r = point.result;
+        if (r.is_attack) {
+            any_attack = true;
+            for (const auto& [name, value] : r.stats.entries()) {
+                (void)value;
+                if (std::find(attack_stats.begin(), attack_stats.end(),
+                              name) == attack_stats.end())
+                    attack_stats.push_back(name);
+            }
+        } else {
+            any_system = true;
+            any_baseline = any_baseline || r.has_baseline;
+        }
+    }
+
+    std::vector<std::string> header;
+    for (const auto& axis : spec.axes)
+        header.push_back(axis.key);
+    bool mixed = any_system && any_attack;
+    if (mixed)
+        header.push_back("kind");
+    if (any_system || results.empty()) {
+        header.insert(header.end(),
+                      {"cycles", "IPC (sum)", "RBMPKI", "alerts/tREFI"});
+        if (any_baseline)
+            header.push_back("norm perf");
+    }
+    header.insert(header.end(), attack_stats.begin(), attack_stats.end());
+
+    Table t(header);
+    for (const auto& point : results) {
+        std::vector<std::string> row;
+        for (const auto& [key, value] : point.overrides) {
+            (void)key;
+            row.push_back(value);
+        }
+        const ScenarioResult& r = point.result;
+        if (mixed)
+            row.push_back(r.is_attack ? "attack" : "system");
+        if (any_system) {
+            if (r.is_attack) {
+                row.insert(row.end(), any_baseline ? 5 : 4, "");
+            } else {
+                row.push_back(
+                    Table::num(static_cast<double>(r.sim.cycles), 0));
+                row.push_back(Table::num(r.sim.ipc_sum, 3));
+                row.push_back(Table::num(r.sim.rbmpki, 2));
+                row.push_back(Table::num(r.sim.alerts_per_trefi, 4));
+                if (any_baseline)
+                    row.push_back(
+                        r.has_baseline ? Table::num(r.norm_perf, 4)
+                                       : "");
+            }
+        }
+        for (const auto& name : attack_stats)
+            row.push_back(r.is_attack && r.stats.has(name)
+                              ? statCell(r.stats.get(name))
+                              : "");
+        t.addRow(row);
+    }
+    out += t.toString();
+    return out;
+}
+
+std::string
+sweepJson(const ScenarioConfig& base,
+          const std::vector<SweepPointResult>& results)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("scenario").beginObject();
+    for (const auto& key : ScenarioConfig::keys())
+        w.key(key).value(base.get(key));
+    w.endObject();
+    w.key("sweep").beginArray();
+    for (const auto& point : results) {
+        w.beginObject();
+        w.key("overrides").beginObject();
+        for (const auto& [key, value] : point.overrides)
+            w.key(key).value(value);
+        w.endObject();
+        w.key("result").raw(point.result.resultJson());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+int
+runQpracSimCli(const std::vector<std::string>& args, std::string* out,
+               std::string* err)
+{
+    ScenarioConfig cfg;
+    cfg.insts = 400'000; // the CLI's historical default run length
+    // Overrides apply in command-line order, except that --workload and
+    // --trace keep the legacy driver's fixed precedence (see below).
+    enum class OpOrigin
+    {
+        Generic,
+        WorkloadFlag,
+        TraceFlag,
+    };
+    struct Op
+    {
+        std::string key;
+        std::string value;
+        OpOrigin origin = OpOrigin::Generic;
+    };
+    std::vector<Op> ops;
+    SweepSpec sweep;
+    std::string config_path;
+    std::string csv_path;
+    bool dump_stats = false;
+    bool json = false;
+
+    auto usageError = [&](const std::string& msg) {
+        if (!msg.empty())
+            *err += msg + "\n";
+        *err += kUsage;
+        return 2;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        auto need = [&](const char* flag,
+                        std::string* value) -> bool {
+            if (i + 1 >= args.size()) {
+                *err += strCat(flag, " requires a value\n");
+                return false;
+            }
+            *value = args[++i];
+            return true;
+        };
+        // Legacy value flags that map 1:1 onto a scenario key.
+        static const std::pair<const char*, const char*> kFlagKeys[] = {
+            {"--mitigation", "mitigation"}, {"--backend", "backend"},
+            {"--psq-size", "psq_size"},     {"--nbo", "nbo"},
+            {"--nmit", "nmit"},             {"--insts", "insts"},
+            {"--cores", "cores"},           {"--channels", "channels"},
+            {"--ranks", "ranks"},           {"--mapping", "mapping"},
+            {"--seed", "seed"},
+        };
+        const char* mapped_key = nullptr;
+        for (const auto& [flag, key] : kFlagKeys)
+            if (arg == flag)
+                mapped_key = key;
+        std::string v;
+        if (mapped_key) {
+            if (!need(arg.c_str(), &v))
+                return usageError("");
+            ops.push_back({mapped_key, v});
+        } else if (arg == "--workload") {
+            if (!need("--workload", &v))
+                return usageError("");
+            ops.push_back({"source", strCat("workload:", v),
+                           OpOrigin::WorkloadFlag});
+        } else if (arg == "--trace") {
+            if (!need("--trace", &v))
+                return usageError("");
+            ops.push_back(
+                {"source", strCat("trace:", v), OpOrigin::TraceFlag});
+        } else if (arg == "--baseline") {
+            ops.push_back({"baseline", "true"});
+        } else if (arg == "--set") {
+            if (!need("--set", &v))
+                return usageError("");
+            std::size_t eq = v.find('=');
+            if (eq == std::string::npos)
+                return usageError(
+                    strCat("--set expects key=value, got '", v, "'"));
+            ops.push_back({v.substr(0, eq), v.substr(eq + 1)});
+        } else if (arg == "--sweep") {
+            if (!need("--sweep", &v))
+                return usageError("");
+            std::string sweep_err;
+            if (!sweep.add(v, &sweep_err))
+                return usageError(sweep_err);
+        } else if (arg == "--config") {
+            if (!need("--config", &v))
+                return usageError("");
+            config_path = v;
+        } else if (arg == "--csv") {
+            if (!need("--csv", &v))
+                return usageError("");
+            csv_path = v;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            *out += listEverything();
+            return 0;
+        } else if (arg == "--list-designs") {
+            *out += listDesigns();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            *out += kUsage;
+            return 0;
+        } else {
+            return usageError(strCat("unknown argument '", arg, "'"));
+        }
+    }
+
+    // Legacy precedence: the pre-scenario driver kept --workload and
+    // --trace in separate variables and always ran the trace when both
+    // were given, regardless of flag order. Preserve that by dropping
+    // --workload ops whenever a --trace op is present (--set source=...
+    // stays strictly positional).
+    bool has_trace_flag = false;
+    for (const auto& op : ops)
+        if (op.origin == OpOrigin::TraceFlag)
+            has_trace_flag = true;
+    if (has_trace_flag)
+        std::erase_if(ops, [](const Op& op) {
+            return op.origin == OpOrigin::WorkloadFlag;
+        });
+
+    std::string cfg_err;
+    if (!config_path.empty() &&
+        !ScenarioConfig::fromFile(config_path, &cfg, &cfg_err))
+        return usageError(cfg_err);
+    for (const auto& op : ops)
+        if (!cfg.set(op.key, op.value, &cfg_err))
+            return usageError(cfg_err);
+    if (!cfg.validate(&cfg_err))
+        return usageError(cfg_err);
+
+    if (!sweep.axes.empty()) {
+        std::string sweep_err;
+        auto results = runSweep(cfg, sweep, &sweep_err);
+        if (results.empty() && !sweep_err.empty())
+            return usageError(sweep_err);
+        if (json)
+            *out += sweepJson(cfg, results) + "\n";
+        else
+            *out += sweepReport(sweep, results);
+        if (!csv_path.empty()) {
+            CsvWriter csv(csv_path, ScenarioResult::csvHeader());
+            for (const auto& point : results)
+                csv.addRow(point.result.csvRow());
+        }
+        return 0;
+    }
+
+    ScenarioResult res = runScenario(cfg);
+    if (json)
+        *out += res.toJson() + "\n";
+    else if (res.is_attack)
+        *out += attackRunReport(res);
+    else
+        *out += legacyRunReport(res, dump_stats);
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path, ScenarioResult::csvHeader());
+        csv.addRow(res.csvRow());
+    }
+    return 0;
+}
+
+} // namespace qprac::sim

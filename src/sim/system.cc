@@ -1,5 +1,6 @@
 #include "sim/system.h"
 
+#include "common/json.h"
 #include "common/log.h"
 
 namespace qprac::sim {
@@ -74,6 +75,28 @@ System::run()
     r.stats.set("sim.rbmpki", r.rbmpki);
     r.stats.set("sim.alerts_per_trefi", r.alerts_per_trefi);
     return r;
+}
+
+std::string
+SimResult::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("cycles").value(static_cast<std::uint64_t>(cycles));
+    w.key("ipc_sum").value(ipc_sum);
+    w.key("rbmpki").value(rbmpki);
+    w.key("alerts_per_trefi").value(alerts_per_trefi);
+    w.key("acts").value(acts);
+    w.key("core_ipc").beginArray();
+    for (double ipc : core_ipc)
+        w.value(ipc);
+    w.endArray();
+    w.key("stats").beginObject();
+    for (const auto& [name, value] : stats.entries())
+        w.key(name).value(value);
+    w.endObject();
+    w.endObject();
+    return w.str();
 }
 
 } // namespace qprac::sim

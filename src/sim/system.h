@@ -48,6 +48,14 @@ struct SimResult
     double rbmpki = 0.0;          ///< ACTs per kilo-instruction
     double acts = 0.0;            ///< Σ ACTs over all channels
     StatSet stats; ///< aggregate keys plus chK.* copies when channels > 1
+
+    /**
+     * Structured emission: one JSON object with the aggregate metrics
+     * (cycles, ipc_sum, rbmpki, alerts_per_trefi, acts), the per-core
+     * IPCs and the full stat set. Part of the scenario API's single
+     * output format (see sim/scenario.h).
+     */
+    std::string toJson() const;
 };
 
 /** One simulated machine instance. */

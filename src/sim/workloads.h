@@ -49,10 +49,13 @@ const Workload& findWorkload(const std::string& name);
  *        streaming footprint is scaled with the expected miss count so
  *        that DRAM-row reuse over a short run matches the long-run
  *        behaviour of the full-size workload (see DESIGN.md).
+ * @param seed extra seed mixed into the stream RNG
+ *        (ExperimentConfig::seed / ScenarioConfig::seed); 0 reproduces
+ *        the historical per-(workload, core) seeding exactly.
  */
 std::unique_ptr<cpu::TraceSource>
 makeTrace(const Workload& w, int core_id,
-          std::uint64_t insts_hint = 1'000'000);
+          std::uint64_t insts_hint = 1'000'000, std::uint64_t seed = 0);
 
 } // namespace qprac::sim
 

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Golden tests for the qprac_sim CLI: the legacy flag surface must
+ * stay bit-identical to the pre-scenario-API driver (outputs below
+ * were captured from commit 76ee0a9), and the same run expressed as a
+ * config file plus --set overrides must reproduce it exactly.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/json.h"
+#include "sim/scenario_cli.h"
+
+using qprac::sim::runQpracSimCli;
+
+namespace {
+
+/** The goldens were captured with no QPRAC_* env overrides. */
+void
+clearHarnessEnv()
+{
+    unsetenv("QPRAC_INSTS");
+    unsetenv("QPRAC_LLC_MB");
+    unsetenv("QPRAC_THREADS");
+    unsetenv("QPRAC_SEED");
+    unsetenv("QPRAC_CSV_DIR");
+}
+
+std::string
+run(const std::vector<std::string>& args, int expect_status = 0)
+{
+    std::string out;
+    std::string err;
+    int status = runQpracSimCli(args, &out, &err);
+    EXPECT_EQ(status, expect_status) << err;
+    return out;
+}
+
+std::string
+writeTemp(const std::string& name, const std::string& text)
+{
+    std::string path = testing::TempDir() + name;
+    std::ofstream f(path);
+    f << text;
+    return path;
+}
+
+// Captured from the pre-redesign qprac_sim (see file header).
+const char* const kGoldenStats = R"QPGOLD(=== qprac_sim: qprac+proactive-ea on 450.soplex, 2 cores x 10000 insts, 1 channel (row-major) ===
+metric                 value 
+-----------------------------
+cycles                 8861  
+IPC (sum)              1.836 
+RBMPKI                 15.44 
+alerts/tREFI           0.0000
+activations            315   
+RFM mitigations        0     
+proactive mitigations  0     
+core0.cpu_cycles = 11077
+core0.finish_cycles = 11077
+core0.ipc = 0.902772
+core0.loads = 2818
+core0.retired = 10003
+core0.stall_cycles = 8446
+core0.stores = 695
+core1.cpu_cycles = 11077
+core1.finish_cycles = 10720
+core1.ipc = 0.932836
+core1.loads = 2931
+core1.retired = 10395
+core1.stall_cycles = 8353
+core1.stores = 716
+ctrl.alerts = 0
+ctrl.policy_rfms = 0
+ctrl.read_latency_sum = 115679
+ctrl.reads_done = 490
+ctrl.reads_enqueued = 502
+ctrl.refs = 1
+ctrl.rfms = 0
+ctrl.row_hits = 490
+ctrl.row_misses = 315
+ctrl.writes_enqueued = 0
+dram.acts = 315
+dram.pres = 269
+dram.reads = 490
+dram.refs = 1
+dram.rfms = 0
+dram.writes = 0
+llc.load_hits = 5247
+llc.load_misses = 502
+llc.loads = 5749
+llc.mshr_merges = 0
+llc.store_hits = 1295
+llc.store_misses = 116
+llc.stores = 1411
+llc.writebacks = 0
+mit.alerts = 0
+mit.dropped_mitigations = 0
+mit.proactive_mitigations = 0
+mit.psq_evictions = 0
+mit.psq_hits = 48
+mit.psq_insertions = 243
+mit.rfm_mitigations = 0
+mit.victim_refreshes = 0
+sim.alerts_per_trefi = 0
+sim.cycles = 8861
+sim.ipc_sum = 1.83561
+sim.rbmpki = 15.4427
+)QPGOLD";
+
+const char* const kGoldenMultiChannel = R"QPGOLD(=== qprac_sim: qprac+proactive-ea on 429.mcf, 2 cores x 8000 insts, 2 channels (channel-striped) ===
+metric                 value 
+-----------------------------
+cycles                 6139  
+IPC (sum)              2.114 
+RBMPKI                 29.97 
+alerts/tREFI           0.0000
+activations            481   
+RFM mitigations        0     
+proactive mitigations  0     
+ch0.activations        256   
+ch0.alerts             0     
+ch1.activations        225   
+ch1.alerts             0     
+)QPGOLD";
+
+const char* const kGoldenBaseline = R"QPGOLD(=== qprac_sim: qprac on 429.mcf, 1 cores x 6000 insts, 1 channel (row-major) ===
+metric                  value 
+------------------------------
+cycles                  4827  
+IPC (sum)               0.994 
+RBMPKI                  29.50 
+alerts/tREFI            0.0000
+activations             177   
+RFM mitigations         0     
+proactive mitigations   0     
+normalized performance  1.0000
+)QPGOLD";
+
+} // namespace
+
+TEST(QpracSimCliGolden, LegacyFlagsWithStatsDump)
+{
+    clearHarnessEnv();
+    EXPECT_EQ(run({"--workload", "450.soplex", "--insts", "10000",
+                   "--cores", "2", "--nbo", "8", "--stats"}),
+              kGoldenStats);
+}
+
+TEST(QpracSimCliGolden, LegacyMultiChannelRun)
+{
+    clearHarnessEnv();
+    EXPECT_EQ(run({"--workload", "429.mcf", "--insts", "8000", "--cores",
+                   "2", "--channels", "2", "--mapping",
+                   "channel-striped"}),
+              kGoldenMultiChannel);
+}
+
+TEST(QpracSimCliGolden, LegacyBaselineRun)
+{
+    clearHarnessEnv();
+    EXPECT_EQ(run({"--insts", "6000", "--cores", "1", "--mitigation",
+                   "qprac", "--backend", "heap", "--psq-size", "3",
+                   "--baseline"}),
+              kGoldenBaseline);
+}
+
+TEST(QpracSimCliGolden, ConfigFileReproducesLegacyRunExactly)
+{
+    clearHarnessEnv();
+    std::string path = writeTemp("golden_baseline.ini",
+                                 "# golden baseline run as a config\n"
+                                 "[design]\n"
+                                 "mitigation = qprac\n"
+                                 "backend = heap\n"
+                                 "psq_size = 3\n"
+                                 "[run]\n"
+                                 "insts = 6000\n"
+                                 "cores = 1\n"
+                                 "baseline = true\n");
+    EXPECT_EQ(run({"--config", path}), kGoldenBaseline);
+}
+
+TEST(QpracSimCliGolden, SetOverridesReproduceLegacyRunExactly)
+{
+    clearHarnessEnv();
+    std::string path =
+        writeTemp("golden_sparse.ini", "insts = 6000\ncores = 1\n");
+    // Later --set wins over both the file and earlier --set values.
+    EXPECT_EQ(run({"--config", path, "--set", "mitigation=qprac",
+                   "--set", "backend=linear", "--set", "backend=heap",
+                   "--set", "psq_size=3", "--set", "baseline=true"}),
+              kGoldenBaseline);
+}
+
+TEST(QpracSimCli, RejectsGarbageNumbersLoudly)
+{
+    clearHarnessEnv();
+    std::string out;
+    std::string err;
+    // Pre-redesign these passed through atoi/atoll silently.
+    EXPECT_EQ(runQpracSimCli({"--insts", "12abc"}, &out, &err), 2);
+    EXPECT_NE(err.find("insts"), std::string::npos);
+    err.clear();
+    EXPECT_EQ(runQpracSimCli({"--psq-size", "-3"}, &out, &err), 2);
+    EXPECT_NE(err.find("psq_size"), std::string::npos);
+    err.clear();
+    EXPECT_EQ(runQpracSimCli({"--channels", "3"}, &out, &err), 2);
+    EXPECT_NE(err.find("power of two"), std::string::npos);
+    err.clear();
+    EXPECT_EQ(runQpracSimCli({"--set", "nonsense"}, &out, &err), 2);
+    err.clear();
+    EXPECT_EQ(runQpracSimCli({"--insts", "0"}, &out, &err), 2);
+    err.clear();
+    EXPECT_EQ(runQpracSimCli({"--sweep", "nbo=8,16", "--sweep",
+                              "nbo=32", "--insts", "2000"},
+                             &out, &err),
+              2);
+    EXPECT_NE(err.find("duplicate axis"), std::string::npos);
+}
+
+TEST(QpracSimCli, JsonRunIsValidAndCarriesAggregates)
+{
+    clearHarnessEnv();
+    std::string json = run({"--insts", "5000", "--cores", "1", "--json"});
+    EXPECT_TRUE(qprac::jsonValid(json)) << json;
+    for (const char* key : {"\"scenario\"", "\"result\"", "\"cycles\"",
+                            "\"ipc_sum\"", "\"rbmpki\"", "\"stats\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(QpracSimCli, SweepJsonEnumeratesCrossProduct)
+{
+    clearHarnessEnv();
+    std::string json =
+        run({"--insts", "4000", "--cores", "1", "--sweep",
+             "psq_size=1:2", "--sweep", "nmit=1,2", "--json"});
+    EXPECT_TRUE(qprac::jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+    // 2 x 2 cross product -> 4 result objects.
+    std::size_t count = 0;
+    for (std::size_t at = json.find("\"overrides\"");
+         at != std::string::npos;
+         at = json.find("\"overrides\"", at + 1))
+        ++count;
+    EXPECT_EQ(count, 4u);
+}
+
+TEST(QpracSimCli, TraceFlagOutranksWorkloadFlagLikeLegacyDriver)
+{
+    clearHarnessEnv();
+    // The pre-redesign driver always preferred --trace when both flags
+    // were given, regardless of order.
+    std::string trace = writeTemp("cli_prec.trace",
+                                  "1 0x1000\n2 0x2000 0x3000\n");
+    std::string out = run({"--trace", trace, "--workload", "429.mcf",
+                           "--insts", "2000", "--cores", "1"});
+    EXPECT_NE(out.find(trace), std::string::npos) << out;
+    EXPECT_EQ(out.find("429.mcf"), std::string::npos) << out;
+    // --set source=... stays strictly positional (it is the new,
+    // explicitly-ordered surface).
+    out = run({"--trace", trace, "--set", "source=workload:429.mcf",
+               "--insts", "2000", "--cores", "1"});
+    EXPECT_NE(out.find("429.mcf"), std::string::npos) << out;
+}
+
+TEST(QpracSimCli, MixedKindSweepReportsBothColumnSets)
+{
+    clearHarnessEnv();
+    std::string out =
+        run({"--insts", "3000", "--cores", "1", "--sweep",
+             "source=429.mcf,attack:wave"});
+    // Mixed sweeps label each row and show both metric families.
+    EXPECT_NE(out.find("kind"), std::string::npos) << out;
+    EXPECT_NE(out.find("cycles"), std::string::npos) << out;
+    EXPECT_NE(out.find("attack.max_count"), std::string::npos) << out;
+}
+
+TEST(QpracSimCli, AttackScenarioRunsFromCli)
+{
+    clearHarnessEnv();
+    std::string out =
+        run({"--set", "source=attack:fill-escape", "--nmit", "1"});
+    EXPECT_NE(out.find("attack.target_unmitigated_acts"),
+              std::string::npos);
+    std::string json =
+        run({"--set", "source=attack:wave", "--json"});
+    EXPECT_TRUE(qprac::jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"kind\":\"attack\""), std::string::npos);
+}

@@ -2,8 +2,11 @@
  * @file
  * qprac_sim — command-line driver for the full-system simulator.
  *
- * Run any workload (or a Ramulator2-style trace file) under any
- * mitigation and print the stats the paper's evaluation is built from.
+ * Thin shell over sim/scenario_cli.h: every run is a declarative
+ * scenario (see sim/scenario.h). Legacy flags, `--config file.ini`,
+ * `--set key=value` overrides and `--sweep key=values` cross-products
+ * all funnel into the same ScenarioConfig; results come back through
+ * the structured emission layer (tables, `--json`, `--csv`).
  *
  *   qprac_sim [options]
  *     --workload NAME      synthetic workload (default 429.mcf); see
@@ -21,256 +24,37 @@
  *     --nmit N             RFMs per alert, 1/2/4 (default 1)
  *     --insts N            instructions per core (default 400000)
  *     --cores N            number of cores (default 4)
- *     --channels N         independent DRAM channels, each with its own
- *                          controller + mitigation instance (default 1,
- *                          the paper's Table II configuration)
+ *     --channels N         independent DRAM channels (default 1)
  *     --ranks N            ranks per channel (default 2)
- *     --mapping NAME       address mapping: row-major | bank-striped |
- *                          channel-striped (default row-major)
- *     --baseline           also run the insecure baseline and report
- *                          normalized performance
+ *     --mapping NAME       row-major | bank-striped | channel-striped
+ *     --seed N             extra trace-RNG seed (default 0)
+ *     --baseline           also run the insecure baseline
  *     --stats              dump the full stat set
- *     --list               list workloads and mitigations, then exit
+ *     --config FILE        load a scenario config file first
+ *     --set key=value      override any scenario key (repeatable)
+ *     --sweep key=values   sweep axis, v1,v2 or lo:hi[:step] (repeatable)
+ *     --json               emit the structured JSON document
+ *     --csv PATH           write structured CSV rows to PATH (the file
+ *                          is rewritten each run)
+ *     --list               list workloads, mitigations and attacks
  *     --list-designs       list registry designs with descriptions
  */
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
-#include "common/table.h"
-#include "mitigations/factory.h"
-#include "sim/experiment.h"
-#include "sim/workloads.h"
-
-using namespace qprac;
-
-namespace {
-
-void
-listEverything()
-{
-    std::printf("mitigations:\n");
-    for (const auto& m : mitigations::mitigationNames())
-        std::printf("  %s\n", m.c_str());
-    std::printf("\nworkloads (%zu):\n", sim::workloadSuite().size());
-    Table t({"name", "suite", "mem/ki", "miss/ki", "seq", "est. RBMPKI"});
-    for (const auto& w : sim::workloadSuite())
-        t.addRow({w.name, w.suite, Table::num(w.mem_per_kilo, 0),
-                  Table::num(w.miss_per_kilo, 1), Table::num(w.seq_frac, 2),
-                  Table::num(w.expectedRbmpki(), 1)});
-    t.print();
-}
-
-void
-listDesigns()
-{
-    auto& registry = mitigations::MitigationRegistry::instance();
-    std::printf("designs (select with --mitigation):\n");
-    Table t({"name", "description"});
-    for (const auto& name : registry.names())
-        t.addRow({name, registry.description(name)});
-    t.print();
-    std::printf("\nqprac designs accept an @backend suffix "
-                "(linear | heap | coalescing), e.g. qprac@heap.\n");
-}
-
-[[noreturn]] void
-usage(const char* argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--workload NAME | --trace PATH] "
-                 "[--mitigation NAME] [--backend NAME] [--psq-size N] "
-                 "[--nbo N] [--nmit N] [--insts N] [--cores N] "
-                 "[--channels N] [--ranks N] [--mapping NAME] "
-                 "[--baseline] [--stats] [--list] [--list-designs]\n",
-                 argv0);
-    std::exit(2);
-}
-
-} // namespace
+#include "sim/scenario_cli.h"
 
 int
 main(int argc, char** argv)
 {
-    std::string workload = "429.mcf";
-    std::string trace_path;
-    std::string mitigation = "qprac+proactive-ea";
-    std::string backend;
-    int psq_size = 0;
-    int nbo = 32;
-    int nmit = 1;
-    std::uint64_t insts = 400'000;
-    int cores = 4;
-    int channels = 1;
-    int ranks = 2;
-    dram::MappingScheme mapping = dram::MappingScheme::RoRaBgBaCo;
-    bool run_baseline = false;
-    bool dump_stats = false;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto need = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s requires a value\n", flag);
-                usage(argv[0]);
-            }
-            return argv[++i];
-        };
-        if (arg == "--workload")
-            workload = need("--workload");
-        else if (arg == "--trace")
-            trace_path = need("--trace");
-        else if (arg == "--mitigation")
-            mitigation = need("--mitigation");
-        else if (arg == "--backend")
-            backend = need("--backend");
-        else if (arg == "--psq-size")
-            psq_size = std::atoi(need("--psq-size"));
-        else if (arg == "--nbo")
-            nbo = std::atoi(need("--nbo"));
-        else if (arg == "--nmit")
-            nmit = std::atoi(need("--nmit"));
-        else if (arg == "--insts")
-            insts = static_cast<std::uint64_t>(
-                std::atoll(need("--insts")));
-        else if (arg == "--cores")
-            cores = std::atoi(need("--cores"));
-        else if (arg == "--channels")
-            channels = std::atoi(need("--channels"));
-        else if (arg == "--ranks")
-            ranks = std::atoi(need("--ranks"));
-        else if (arg == "--mapping") {
-            const char* name = need("--mapping");
-            if (!dram::parseMappingScheme(name, &mapping)) {
-                std::fprintf(stderr, "unknown mapping '%s'\n", name);
-                usage(argv[0]);
-            }
-        } else if (arg == "--baseline")
-            run_baseline = true;
-        else if (arg == "--stats")
-            dump_stats = true;
-        else if (arg == "--list") {
-            listEverything();
-            return 0;
-        } else if (arg == "--list-designs") {
-            listDesigns();
-            return 0;
-        } else {
-            usage(argv[0]);
-        }
-    }
-
-    sim::ExperimentConfig cfg;
-    cfg.insts_per_core = insts;
-    cfg.num_cores = cores;
-    if (channels < 1 || (channels & (channels - 1)) != 0) {
-        std::fprintf(stderr, "--channels must be a power of two >= 1\n");
-        usage(argv[0]);
-    }
-    if (ranks < 1 || (ranks & (ranks - 1)) != 0) {
-        std::fprintf(stderr, "--ranks must be a power of two >= 1\n");
-        usage(argv[0]);
-    }
-    cfg.channels = channels;
-    cfg.ranks = ranks;
-    cfg.mapping = mapping;
-
-    mitigations::MitigationParams params;
-    params.nbo = nbo;
-    params.nmit = nmit;
-    params.psq_size = psq_size;
-    if (!backend.empty()) {
-        core::SqBackendKind kind;
-        if (!core::parseSqBackend(backend, &kind)) {
-            std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
-            usage(argv[0]);
-        }
-        params.backend = kind;
-    }
-
-    sim::DesignSpec design;
-    design.label = mitigation;
-    design.abo.enabled = mitigation != "none";
-    design.abo.nmit = nmit;
-    design.factory = [mitigation, params](dram::PracCounters* counters) {
-        return mitigations::MitigationRegistry::instance().create(
-            mitigation, params, counters);
-    };
-    // RFM-paced designs have no ABO alert; the controller supplies
-    // their mitigation slots (treat --nbo as the target TRH for pacing).
-    if (mitigation == "pride" || mitigation == "mithril") {
-        design.abo.enabled = false;
-        design.timing = dram::TimingParams::ddr5NoPrac();
-        design.rfm_policy = mitigation == "pride"
-                                ? mitigations::RfmPolicy::forPride(nbo)
-                                : mitigations::RfmPolicy::forMithril(nbo);
-    }
-
-    auto buildTraces = [&]() {
-        std::vector<std::unique_ptr<cpu::TraceSource>> traces;
-        for (int c = 0; c < cores; ++c) {
-            if (!trace_path.empty())
-                traces.push_back(
-                    std::make_unique<cpu::FileTraceSource>(trace_path));
-            else
-                traces.push_back(sim::makeTrace(
-                    sim::findWorkload(workload), c, insts));
-        }
-        return traces;
-    };
-
-    auto runDesign = [&](const sim::DesignSpec& d) {
-        sim::SystemConfig sys = sim::makeSystemConfig(d, cfg);
-        sim::System system(sys, d.factory, buildTraces());
-        return system.run();
-    };
-
-    sim::SimResult result = runDesign(design);
-
-    std::printf("=== qprac_sim: %s on %s, %d cores x %llu insts, "
-                "%d channel%s (%s) ===\n",
-                mitigation.c_str(),
-                trace_path.empty() ? workload.c_str()
-                                   : trace_path.c_str(),
-                cores, static_cast<unsigned long long>(insts), channels,
-                channels == 1 ? "" : "s",
-                dram::mappingSchemeName(mapping));
-    Table t({"metric", "value"});
-    t.addRow({"cycles", Table::num(static_cast<double>(result.cycles), 0)});
-    t.addRow({"IPC (sum)", Table::num(result.ipc_sum, 3)});
-    t.addRow({"RBMPKI", Table::num(result.rbmpki, 2)});
-    t.addRow({"alerts/tREFI", Table::num(result.alerts_per_trefi, 4)});
-    t.addRow({"activations", Table::num(result.acts, 0)});
-    t.addRow({"RFM mitigations",
-              Table::num(result.stats.getOr("mit.rfm_mitigations", 0), 0)});
-    t.addRow({"proactive mitigations",
-              Table::num(result.stats.getOr("mit.proactive_mitigations", 0),
-                         0)});
-    if (channels > 1) {
-        for (int c = 0; c < channels; ++c) {
-            std::string p = "ch" + std::to_string(c) + ".";
-            t.addRow({p + "activations",
-                      Table::num(result.stats.getOr(p + "dram.acts", 0),
-                                 0)});
-            t.addRow({p + "alerts",
-                      Table::num(result.stats.getOr(p + "ctrl.alerts", 0),
-                                 0)});
-        }
-    }
-    if (run_baseline) {
-        sim::DesignSpec base;
-        base.label = "baseline";
-        base.abo.enabled = false;
-        sim::SimResult b = runDesign(base);
-        t.addRow({"normalized performance",
-                  Table::num(b.ipc_sum > 0 ? result.ipc_sum / b.ipc_sum
-                                           : 0.0,
-                             4)});
-    }
-    t.print();
-
-    if (dump_stats)
-        std::fputs(result.stats.toString().c_str(), stdout);
-    return 0;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string out;
+    std::string err;
+    int status = qprac::sim::runQpracSimCli(args, &out, &err);
+    if (!out.empty())
+        std::fputs(out.c_str(), stdout);
+    if (!err.empty())
+        std::fputs(err.c_str(), stderr);
+    return status;
 }
