@@ -23,6 +23,14 @@ SharedLlc::SharedLlc(const LlcConfig& config, ctrl::MemorySystem& memory,
 {
     pending_writebacks_.resize(
         static_cast<std::size_t>(memory_.channels()));
+    // The LLC's admission control is its MSHR file; the per-channel
+    // read queues apply backpressure shard-side at mailbox ingest.
+    // That reproduces the old direct-enqueue timing only while the
+    // MSHR file cannot outrun a single channel's read queue — enforce
+    // the invariant instead of documenting it away.
+    QP_ASSERT(cfg_.mshrs <= memory_.controller(0).readQueueCapacity(),
+              "LLC mshrs must not exceed the controller read-queue "
+              "capacity");
     num_sets_ = static_cast<int>(
         cfg_.size_bytes /
         (static_cast<std::uint64_t>(cfg_.ways) *
@@ -158,10 +166,9 @@ SharedLlc::access(Addr addr, bool is_store, int source,
         return false;
     Addr full = line * static_cast<Addr>(cfg_.line_bytes);
     dram::DecodedAddr dec = mapper_.decode(full);
-    if (memory_.readQueueFull(dec.channel))
-        return false;
 
-    // Allocate an MSHR and send the fill request.
+    // Allocate an MSHR and mail the fill request; controller read-queue
+    // admission happens shard-side at ingest.
     int free = -1;
     for (int i = 0; i < static_cast<int>(mshrs_.size()); ++i)
         if (!mshrs_[static_cast<std::size_t>(i)].valid) {
@@ -178,10 +185,8 @@ SharedLlc::access(Addr addr, bool is_store, int source,
     ++mshrs_in_use_;
     ++stats_.load_misses;
 
-    bool ok = memory_.enqueueRead(
-        full, dec, source, [this, line](Cycle at) { onFill(line, at); },
-        now);
-    QP_ASSERT(ok, "read queue admission raced with readQueueFull()");
+    memory_.submitRead(full, dec, source,
+                       [this, line](Cycle at) { onFill(line, at); }, now);
     return true;
 }
 
@@ -209,11 +214,13 @@ SharedLlc::tick(Cycle now)
         if (fn)
             fn();
     }
-    for (std::size_t c = 0; c < pending_writebacks_.size(); ++c) {
-        auto& q = pending_writebacks_[c];
-        while (!q.empty() && !memory_.writeQueueFull(static_cast<int>(c))) {
+    for (auto& q : pending_writebacks_) {
+        // Hand the whole backlog to the channel's write mailbox; a full
+        // ring (only possible behind a long controller-queue stall)
+        // keeps the rest here, FIFO intact, for next cycle.
+        while (!q.empty()) {
             Addr addr = q.front();
-            if (!memory_.enqueueWrite(addr, mapper_.decode(addr), -1, now))
+            if (!memory_.submitWrite(addr, mapper_.decode(addr), -1, now))
                 break;
             q.pop_front();
         }

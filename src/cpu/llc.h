@@ -49,10 +49,14 @@ struct LlcStats
 };
 
 /**
- * Set-associative shared LLC bound to the sharded memory system. Misses
- * and writebacks are routed to the decoded channel; backpressure (full
- * read/write queues) is applied per channel, so one saturated channel
- * does not stall fills or writebacks bound for the others.
+ * Set-associative shared LLC bound to the sharded memory system.
+ * Misses and writebacks are mailed to the decoded channel's shard
+ * through the epoch engine's SPSC mailboxes (ctrl/memory_system.h);
+ * fills return through deliverCompletions at the data-return cycle.
+ * Controller-queue backpressure is applied shard-side at ingest, so
+ * one saturated channel does not stall fills or writebacks bound for
+ * the others; the LLC's own admission control is its MSHR file, which
+ * bounds outstanding fills below any read-queue capacity in use.
  */
 class SharedLlc
 {
@@ -128,7 +132,12 @@ class SharedLlc
     std::priority_queue<HitEvent, std::vector<HitEvent>,
                         std::greater<HitEvent>>
         hit_events_;
-    /** Per-channel writeback queues (no cross-channel head-of-line). */
+    /**
+     * Per-channel writeback overflow (no cross-channel head-of-line):
+     * entries wait here until the channel's write mailbox accepts
+     * them; the mailbox applies controller-queue backpressure at
+     * shard ingest.
+     */
     std::vector<std::deque<Addr>> pending_writebacks_;
     LlcStats stats_;
 };

@@ -182,8 +182,12 @@ MemoryController::scheduleQueue(RequestQueue& q, bool is_write,
             Cycle done = dev_.issueRead(r.flat_bank, now);
             ++stats_.reads_done;
             stats_.read_latency_sum += done - r.arrive;
-            if (r.on_complete)
-                completions_.push({done, std::move(r.on_complete)});
+            if (r.on_complete) {
+                if (completion_sink_)
+                    completion_sink_(done, std::move(r.on_complete));
+                else
+                    completions_.push({done, std::move(r.on_complete)});
+            }
         }
         return true;
       }

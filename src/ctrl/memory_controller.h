@@ -59,7 +59,25 @@ struct CtrlStats
 class MemoryController
 {
   public:
+    /**
+     * Receives every scheduled read completion at CAS-issue time: the
+     * data-return cycle plus the requester's callback. The epoch engine
+     * (ctrl/memory_system.h) installs one per shard to route
+     * completions into that shard's outbox mailbox; without a sink the
+     * controller fires callbacks itself at the completion cycle.
+     *
+     * Scheduling happens tCL + tBL cycles before the completion fires —
+     * the lookahead the engine's epoch length is derived from.
+     */
+    using CompletionSink =
+        std::function<void(Cycle at, std::function<void(Cycle)> fn)>;
+
     MemoryController(dram::DramDevice& dev, const ControllerConfig& config);
+
+    void setCompletionSink(CompletionSink sink)
+    {
+        completion_sink_ = std::move(sink);
+    }
 
     /**
      * Enqueue a read; @p on_complete fires at data return.
@@ -80,6 +98,7 @@ class MemoryController
 
     bool readQueueFull() const { return reads_.full(); }
     bool writeQueueFull() const { return writes_.full(); }
+    int readQueueCapacity() const { return reads_.capacity(); }
 
     CtrlStats stats() const;
     const AboEngine& abo() const { return abo_; }
@@ -103,6 +122,7 @@ class MemoryController
 
     dram::DramDevice& dev_;
     ControllerConfig cfg_;
+    CompletionSink completion_sink_;
     RequestQueue reads_;
     RequestQueue writes_;
     bool drain_mode_ = false;

@@ -1,8 +1,24 @@
 #include "ctrl/memory_system.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace qprac::ctrl {
+
+namespace {
+
+/**
+ * Mailbox sizing. Reads are bounded by the LLC's MSHR file (64 by
+ * default) plus one epoch of completion-freed re-issues; completions
+ * by outstanding reads plus one epoch of delivery lag. Writebacks have
+ * no architectural bound — the LLC keeps its unbounded pending deque
+ * as the overflow buffer and retries when submitWrite reports a full
+ * ring — so the ring only needs to cover the in-flight window.
+ */
+constexpr std::size_t kMailboxCapacity = 4096;
+
+} // namespace
 
 MemorySystem::MemorySystem(const dram::Organization& org,
                            const dram::TimingParams& timing,
@@ -12,6 +28,12 @@ MemorySystem::MemorySystem(const dram::Organization& org,
     : org_(org)
 {
     QP_ASSERT(org.channels >= 1, "need at least one channel");
+    // The epoch bound: a read completion is scheduled at CAS issue and
+    // fires tCL + tBL cycles later (Bank::doRead), so shards may run
+    // that many cycles ahead of the LLC without a completion ever
+    // landing in a main-phase cycle that already executed.
+    epoch_ = std::max<Cycle>(
+        1, static_cast<Cycle>(timing.tCL) + static_cast<Cycle>(timing.tBL));
     shards_.reserve(static_cast<std::size_t>(org.channels));
     for (int c = 0; c < org.channels; ++c) {
         Shard s;
@@ -22,7 +44,24 @@ MemorySystem::MemorySystem(const dram::Organization& org,
         s.device->setMitigation(s.mitigation.get());
         s.controller =
             std::make_unique<MemoryController>(*s.device, ctrl_config);
+        s.read_in = std::make_unique<SpscRing<SubmitMsg>>(kMailboxCapacity);
+        s.write_in =
+            std::make_unique<SpscRing<SubmitMsg>>(kMailboxCapacity);
+        s.complete_out =
+            std::make_unique<SpscRing<CompletionMsg>>(kMailboxCapacity);
         shards_.push_back(std::move(s));
+        // shards_ is reserved up front, so this reference stays valid.
+        Shard& ref = shards_.back();
+        ref.controller->setCompletionSink(
+            [&ref](Cycle at, std::function<void(Cycle)> fn) {
+                // The engine's safety condition: everything emitted in
+                // an epoch fires strictly after it.
+                QP_ASSERT(at >= ref.epoch_end,
+                          "completion scheduled with less lookahead "
+                          "than the epoch length");
+                bool ok = ref.complete_out->push({at, std::move(fn)});
+                QP_ASSERT(ok, "completion outbox overflow");
+            });
     }
 }
 
@@ -74,17 +113,121 @@ MemorySystem::writeQueueFull(int channel) const
 }
 
 void
+MemorySystem::submitRead(Addr addr, const dram::DecodedAddr& dec,
+                         int source,
+                         std::function<void(Cycle)> on_complete,
+                         Cycle now)
+{
+    bool ok = shard(dec.channel)
+                  .read_in->push(
+                      {addr, dec, source, now, std::move(on_complete)});
+    QP_ASSERT(ok, "read mailbox overflow (MSHR file larger than the "
+                  "mailbox capacity?)");
+}
+
+bool
+MemorySystem::submitWrite(Addr addr, const dram::DecodedAddr& dec,
+                          int source, Cycle now)
+{
+    return shard(dec.channel).write_in->push({addr, dec, source, now, {}});
+}
+
+void
+MemorySystem::ingest(Shard& s, Cycle now)
+{
+    // A submit stamped t becomes visible at shard tick t+1 — the cycle
+    // the serial loop's controller first scheduled it. Writes drain
+    // first, mirroring the serial order (LLC writeback drain ran
+    // before the cores' reads within a cycle); entries blocked by a
+    // full controller queue stay mailboxed, FIFO intact, exactly like
+    // the serial loop left them in the LLC's pending deque.
+    //
+    // Requests are enqueued with arrive = now - 1, the cycle the serial
+    // loop's (retrying) enqueue call succeeded: for an unblocked entry
+    // that equals its submit stamp, and for a backpressured one it is
+    // the retry cycle that finally found queue space — so quiesce-drain
+    // decisions keyed on arrival (issueQuiescePre) match the serial
+    // engine under saturation too. now >= 1 whenever an entry is
+    // eligible (stamps are >= 0 and must be < now).
+    while (SubmitMsg* m = s.write_in->peek()) {
+        if (m->stamp >= now || s.controller->writeQueueFull())
+            break;
+        bool ok = s.controller->enqueueWrite(m->addr, m->dec, m->source,
+                                             now - 1);
+        QP_ASSERT(ok, "write admission raced with writeQueueFull()");
+        s.write_in->popFront();
+    }
+    while (SubmitMsg* m = s.read_in->peek()) {
+        if (m->stamp >= now || s.controller->readQueueFull())
+            break;
+        bool ok = s.controller->enqueueRead(m->addr, m->dec, m->source,
+                                            std::move(m->on_complete),
+                                            now - 1);
+        QP_ASSERT(ok, "read admission raced with readQueueFull()");
+        s.read_in->popFront();
+    }
+}
+
+void
+MemorySystem::tickShard(Shard& s, Cycle now)
+{
+    ingest(s, now);
+    s.controller->tick(now);
+}
+
+void
+MemorySystem::deliverCompletions(Cycle now)
+{
+    for (auto& s : shards_) {
+        while (CompletionMsg* m = s.complete_out->peek()) {
+            if (m->at > now)
+                break;
+            auto fn = std::move(m->fn);
+            Cycle at = m->at;
+            s.complete_out->popFront();
+            if (fn)
+                fn(at);
+        }
+    }
+}
+
+void
+MemorySystem::runEpoch(Cycle begin, Cycle end, WorkerPool* pool)
+{
+    QP_ASSERT(end > begin, "empty epoch");
+    QP_ASSERT(end - begin <= epoch_,
+              "epoch longer than the completion lookahead");
+    auto task = [&](std::size_t i) {
+        Shard& s = shards_[i];
+        s.epoch_end = end;
+        for (Cycle u = begin; u < end; ++u)
+            tickShard(s, u);
+    };
+    if (pool && pool->degree() > 1 && shards_.size() > 1)
+        pool->run(shards_.size(), task);
+    else
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            task(i);
+}
+
+void
 MemorySystem::tick(Cycle now)
 {
-    for (auto& s : shards_)
-        s.controller->tick(now);
+    // Serial compatibility path (direct drivers and tests): each tick
+    // is a one-cycle epoch with completions delivered inline.
+    deliverCompletions(now);
+    for (auto& s : shards_) {
+        s.epoch_end = now + 1;
+        tickShard(s, now);
+    }
 }
 
 bool
 MemorySystem::drained() const
 {
     for (const auto& s : shards_)
-        if (!s.controller->drained())
+        if (!s.controller->drained() || !s.read_in->empty() ||
+            !s.write_in->empty() || !s.complete_out->empty())
             return false;
     return true;
 }

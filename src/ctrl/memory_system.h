@@ -1,6 +1,7 @@
 /**
  * @file
- * The channel shard layer between the LLC and the DRAM channels.
+ * The channel shard layer between the LLC and the DRAM channels, and
+ * the deterministic epoch engine that executes it.
  *
  * A MemorySystem owns N independent shards — each a (MemoryController,
  * DramDevice, RowhammerMitigation) triple — and routes requests by the
@@ -10,6 +11,33 @@
  * one channel never perturbs another. Flat bank ids below this layer
  * are per-channel ([0, banksPerChannel())); only cross-channel stat
  * aggregation uses the global flat-bank space.
+ *
+ * # The epoch engine
+ *
+ * The LLC<->shard handoff runs over per-shard SPSC mailboxes: request
+ * submits flow in (submitRead/submitWrite, stamped with their cycle),
+ * read completions flow out (emitted at CAS-issue time, stamped with
+ * the data-return cycle). That decoupling lets shards execute a whole
+ * *epoch* of cycles at a time — runEpoch(begin, end) — with no access
+ * to LLC/core state, so the shard loops can fan out across a worker
+ * pool. Determinism is by construction, not by luck:
+ *
+ *  - A submit stamped t is ingested by its shard before the shard's
+ *    tick t+1 — exactly when the serial loop's controller first saw a
+ *    request enqueued at t.
+ *  - A read completion is *scheduled* at CAS issue with a fixed
+ *    tCL + tBL data-return latency, so every completion that fires
+ *    inside an epoch was already sitting in the outbox before that
+ *    epoch's main phase began, provided the epoch is no longer than
+ *    that latency. epochLength() is derived as exactly this bound.
+ *  - Completions drain at deterministic cycle boundaries in canonical
+ *    shard order (deliverCompletions), matching the serial per-cycle
+ *    channel-0..N-1 iteration.
+ *
+ * The same machinery executes single-threaded (a null/degree-1 pool);
+ * thread count only changes which OS thread runs a shard's loop, never
+ * the sequence of operations — so threads=N runs are bit-identical to
+ * threads=1, and both reproduce the pre-engine serial goldens.
  */
 #ifndef QPRAC_CTRL_MEMORY_SYSTEM_H
 #define QPRAC_CTRL_MEMORY_SYSTEM_H
@@ -18,12 +46,31 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
+#include "common/spsc.h"
 #include "common/stats.h"
 #include "ctrl/memory_controller.h"
 #include "dram/dram_device.h"
 #include "dram/mitigation_iface.h"
 
 namespace qprac::ctrl {
+
+/** One LLC->shard request crossing the epoch boundary. */
+struct SubmitMsg
+{
+    Addr addr = 0;
+    dram::DecodedAddr dec;
+    int source = 0;
+    Cycle stamp = 0; ///< submit cycle; ingested before shard tick stamp+1
+    std::function<void(Cycle)> on_complete; ///< reads only
+};
+
+/** One shard->LLC read completion, emitted at CAS-issue time. */
+struct CompletionMsg
+{
+    Cycle at = 0; ///< data-return cycle (now + tCL + tBL at issue)
+    std::function<void(Cycle)> fn;
+};
 
 /**
  * Builds one in-DRAM mitigation instance from that channel's PRAC
@@ -62,8 +109,51 @@ class MemorySystem
     /** Advance every channel one DRAM command-clock cycle. */
     void tick(Cycle now);
 
-    /** True when no shard has requests queued or in flight. */
+    /** True when no shard has requests queued, mailboxed or in flight. */
     bool drained() const;
+
+    // --- Epoch engine (mailbox handoff; see file comment) ---------------
+    /**
+     * Max cycles a shard may run ahead of the LLC: the CAS-issue ->
+     * data-return latency (tCL + tBL), i.e. the minimum lookahead of
+     * any shard->LLC interaction. Always >= 1.
+     */
+    Cycle epochLength() const { return epoch_; }
+
+    /**
+     * Mail a read to @p dec's channel. Admission control against the
+     * controller's bounded read queue happens shard-side at ingest;
+     * the mailbox itself must never fill — the LLC's MSHR limit bounds
+     * outstanding reads, and the ring is sized far beyond any MSHR
+     * file (fatal assert otherwise). @p on_complete fires from
+     * deliverCompletions at the data-return cycle.
+     */
+    void submitRead(Addr addr, const dram::DecodedAddr& dec, int source,
+                    std::function<void(Cycle)> on_complete, Cycle now);
+
+    /**
+     * Mail a posted write to @p dec's channel; false when that
+     * channel's write mailbox is full (writebacks have no MSHR-style
+     * bound, so the caller keeps the entry and retries next cycle).
+     */
+    bool submitWrite(Addr addr, const dram::DecodedAddr& dec, int source,
+                     Cycle now);
+
+    /**
+     * Fire every mailboxed completion due at or before @p now, in
+     * canonical channel order and per-channel FIFO (= data-return
+     * cycle) order. Call once per cycle before the LLC/core ticks.
+     */
+    void deliverCompletions(Cycle now);
+
+    /**
+     * Run every shard's tick loop over [begin, end) — at most
+     * epochLength() cycles — ingesting mailboxed submits stamped
+     * before each cycle and emitting completions to the outboxes.
+     * With a pool of degree > 1 the shards run on the worker pool;
+     * results are identical either way.
+     */
+    void runEpoch(Cycle begin, Cycle end, WorkerPool* pool);
 
     /** Land buffered ACT notifications on every channel's mitigation. */
     void flushMitigationActs() const;
@@ -96,12 +186,23 @@ class MemorySystem
         std::unique_ptr<dram::DramDevice> device;
         std::unique_ptr<dram::RowhammerMitigation> mitigation;
         std::unique_ptr<MemoryController> controller;
+        /** Main -> shard mailboxes (separate rings: reads and writes
+         * were always admitted independently by the serial loop). */
+        std::unique_ptr<SpscRing<SubmitMsg>> read_in;
+        std::unique_ptr<SpscRing<SubmitMsg>> write_in;
+        /** Shard -> main completion outbox (per-shard clock domain). */
+        std::unique_ptr<SpscRing<CompletionMsg>> complete_out;
+        Cycle epoch_end = 0; ///< first cycle after the current epoch
     };
 
     Shard& shard(int channel);
     const Shard& shard(int channel) const;
 
+    void ingest(Shard& s, Cycle now);
+    void tickShard(Shard& s, Cycle now);
+
     dram::Organization org_;
+    Cycle epoch_ = 1;
     std::vector<Shard> shards_;
 };
 

@@ -1,11 +1,10 @@
 #include "sim/experiment.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <map>
-#include <thread>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/parse.h"
 #include "mitigations/factory.h"
 #include "mitigations/mithril.h"
@@ -111,32 +110,7 @@ ExperimentConfig::defaultThreads()
 {
     if (std::getenv("QPRAC_THREADS"))
         return std::max(1, envIntInRange("QPRAC_THREADS", 0, 1 << 20, 0));
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 2 : static_cast<int>(hw);
-}
-
-void
-parallelFor(std::size_t count, int threads,
-            const std::function<void(std::size_t)>& fn)
-{
-    auto want = static_cast<std::size_t>(std::max(1, threads));
-    // No point spawning workers that would find the counter drained.
-    want = std::min(want, count ? count : 1);
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        while (true) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= count)
-                return;
-            fn(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    for (std::size_t t = 0; t + 1 < want; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (auto& t : pool)
-        t.join();
+    return hardwareThreads();
 }
 
 SystemConfig
@@ -152,6 +126,12 @@ makeSystemConfig(const DesignSpec& design, const ExperimentConfig& cfg)
     sys.org.channels = cfg.channels;
     sys.org.ranks = cfg.ranks;
     sys.mapping = cfg.mapping;
+    // Shard-engine parallelism: the explicit per-run share, or a
+    // standalone run's full budget, clamped to the channel count.
+    int shard = cfg.shard_threads > 0
+                    ? cfg.shard_threads
+                    : std::min(cfg.channels, std::max(1, cfg.threads));
+    sys.threads = std::max(1, std::min(shard, cfg.channels));
     return sys;
 }
 
@@ -200,6 +180,15 @@ runComparison(const std::vector<Workload>& workloads,
                                         ? std::string("prac")
                                         : designs.front().baseline_key;
 
+    // Budget the nesting: workloads fan out across cfg.threads workers
+    // and each concurrent run gets an equal share for shard threading,
+    // so workloads x shards never oversubscribes the machine.
+    ExperimentConfig run_cfg = cfg;
+    run_cfg.shard_threads = innerThreadBudget(
+        cfg.threads, std::min<std::size_t>(
+                         workloads.size(),
+                         static_cast<std::size_t>(std::max(1, cfg.threads))));
+
     std::vector<WorkloadRow> rows(workloads.size());
     parallelFor(workloads.size(), cfg.threads, [&](std::size_t i) {
         const Workload& wl = workloads[i];
@@ -208,13 +197,13 @@ runComparison(const std::vector<Workload>& workloads,
         row.suite = wl.suite;
         std::map<std::string, SimResult> base_results;
         for (const auto& [key, base] : baselines)
-            base_results.emplace(key, runOne(wl, base, cfg));
+            base_results.emplace(key, runOne(wl, base, run_cfg));
         row.baseline = base_results.at(primary_key);
         row.base_rbmpki = row.baseline.rbmpki;
         for (const auto& d : designs) {
             DesignResult dr;
             dr.label = d.label;
-            dr.sim = runOne(wl, d, cfg);
+            dr.sim = runOne(wl, d, run_cfg);
             double base_ipc = base_results.at(d.baseline_key).ipc_sum;
             dr.norm_perf =
                 base_ipc > 0 ? dr.sim.ipc_sum / base_ipc : 0.0;

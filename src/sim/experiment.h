@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/qprac.h"
 #include "mitigations/moat.h"
 #include "mitigations/rfm_policy.h"
@@ -94,6 +95,16 @@ struct ExperimentConfig
      * same value always reproduces it (no env vars required).
      */
     std::uint64_t seed = defaultSeed();
+    /**
+     * Worker threads for the per-channel shard engine inside one
+     * System run. 0 = auto: min(channels, threads), i.e. a standalone
+     * run spends its whole budget on shard parallelism. Harness layers
+     * that already parallelize across runs (runComparison, runSweep)
+     * set this to their per-run share via innerThreadBudget() so the
+     * nesting never oversubscribes. Thread counts never change
+     * simulation results.
+     */
+    int shard_threads = 0;
 
     /** QPRAC_INSTS env var, else 300000. */
     static std::uint64_t defaultInstsPerCore();
@@ -108,15 +119,9 @@ struct ExperimentConfig
     static std::uint64_t defaultLlcMb();
 };
 
-/**
- * Run fn(0), ..., fn(count-1) across @p threads workers (clamped to
- * count; values <= 1 run inline). Indices are claimed from a shared
- * counter, so callers store results by index for deterministic
- * ordering regardless of interleaving. Shared by runComparison and the
- * scenario sweep runner.
- */
-void parallelFor(std::size_t count, int threads,
-                 const std::function<void(std::size_t)>& fn);
+// parallelFor lives in common/parallel.h now; re-exported here because
+// the whole harness historically reached it through sim::.
+using qprac::parallelFor;
 
 /** Fill a SystemConfig for one design (shared wiring for benches/tests). */
 SystemConfig makeSystemConfig(const DesignSpec& design,

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -188,9 +189,16 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
         llc_mb = v;
         return true;
     }
-    if (key == "threads")
+    if (key == "threads") {
+        // "auto" (= 0) defers to QPRAC_THREADS / hardware concurrency;
+        // an explicit N pins the total thread budget.
+        if (trimmed(value) == "auto") {
+            threads = 0;
+            return true;
+        }
         return parseIntInRange(value, 0, 4096, &threads) ||
-               fail("expected an integer in [0, 4096]");
+               fail("expected 'auto' or an integer in [0, 4096]");
+    }
     if (key == "baseline")
         return parseBool(value, &baseline) ||
                fail("expected true/false");
@@ -666,7 +674,7 @@ ScenarioRegistry::registerAttack(const std::string& name,
 }
 
 ScenarioResult
-ScenarioRegistry::run(const ScenarioConfig& cfg) const
+ScenarioRegistry::run(const ScenarioConfig& cfg, int thread_budget) const
 {
     std::string err;
     if (!cfg.validate(&err))
@@ -685,6 +693,8 @@ ScenarioRegistry::run(const ScenarioConfig& cfg) const
     }
 
     ExperimentConfig ecfg = cfg.experiment();
+    if (thread_budget > 0)
+        ecfg.threads = thread_budget;
     DesignSpec d = cfg.design();
     {
         SystemConfig sys = makeSystemConfig(d, ecfg);
@@ -716,9 +726,9 @@ ScenarioRegistry::run(const ScenarioConfig& cfg) const
 }
 
 ScenarioResult
-runScenario(const ScenarioConfig& cfg)
+runScenario(const ScenarioConfig& cfg, int thread_budget)
 {
-    return ScenarioRegistry::instance().run(cfg);
+    return ScenarioRegistry::instance().run(cfg, thread_budget);
 }
 
 // --- Sweeps -----------------------------------------------------------
@@ -886,11 +896,24 @@ runSweep(const ScenarioConfig& base, const SweepSpec& spec,
     }
 
     std::vector<SweepPointResult> results(points.size());
-    int threads =
+    const int threads =
         base.threads ? base.threads : ExperimentConfig::defaultThreads();
+    // Sweep x shard thread budgeting: the points fan out across the
+    // whole budget and each concurrently-running point gets an equal
+    // slice for its shard engine.
+    const int inner = innerThreadBudget(
+        threads,
+        std::min<std::size_t>(results.size(),
+                              static_cast<std::size_t>(
+                                  std::max(1, threads))));
     parallelFor(results.size(), threads, [&](std::size_t i) {
         results[i].overrides = points[i];
-        results[i].result = runScenario(configs[i]);
+        const auto start = std::chrono::steady_clock::now();
+        results[i].result = runScenario(configs[i], inner);
+        results[i].wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
     });
     return results;
 }

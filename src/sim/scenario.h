@@ -80,7 +80,14 @@ struct ScenarioConfig
     int cores = 4;
     std::uint64_t seed = 0;   ///< extra trace-RNG seed (0 = base seeding)
     std::uint64_t llc_mb = 0; ///< LLC size (0 = harness default)
-    int threads = 0;          ///< sweep parallelism (0 = hardware)
+    /**
+     * Total thread budget for the run: sweep-level parallelism and the
+     * per-channel shard engine share it (runSweep hands each point an
+     * equal slice via innerThreadBudget, a single run spends it all on
+     * shard threading). 0 (spelled "auto" in configs) = hardware
+     * concurrency / QPRAC_THREADS. Never changes simulation results.
+     */
+    int threads = 0;
     bool baseline = false;    ///< also run the insecure baseline
 
     /** Canonical key order (serialization and listings). */
@@ -190,8 +197,15 @@ class ScenarioRegistry
     void registerAttack(const std::string& name,
                         const std::string& description, AttackRunner run);
 
-    /** Run any scenario; fatal() on unresolvable sources. */
-    ScenarioResult run(const ScenarioConfig& cfg) const;
+    /**
+     * Run any scenario; fatal() on unresolvable sources.
+     * @p thread_budget caps the run's threading (shard engine +
+     * baseline run); 0 resolves from cfg.threads. Sweep runners pass
+     * their per-point share here so cfg stays untouched in emitted
+     * results.
+     */
+    ScenarioResult run(const ScenarioConfig& cfg,
+                       int thread_budget = 0) const;
 
   private:
     ScenarioRegistry();
@@ -206,8 +220,9 @@ class ScenarioRegistry
     std::map<std::string, AttackEntry> attacks_;
 };
 
-/** ScenarioRegistry::instance().run(cfg). */
-ScenarioResult runScenario(const ScenarioConfig& cfg);
+/** ScenarioRegistry::instance().run(cfg, thread_budget). */
+ScenarioResult runScenario(const ScenarioConfig& cfg,
+                           int thread_budget = 0);
 
 /** One sweep axis: a config key and its value list. */
 struct SweepAxis
@@ -248,13 +263,22 @@ struct SweepPointResult
 {
     std::vector<std::pair<std::string, std::string>> overrides;
     ScenarioResult result;
+    /**
+     * Wall-clock time of this point's runScenario call. Deliberately
+     * kept out of the result stats: it is machine noise, and result
+     * documents stay bit-identical across thread counts. The scaling
+     * bench reads it to record speedups.
+     */
+    double wall_ms = 0.0;
 };
 
 /**
- * Run the sweep cross-product over @p base in parallel
- * (base.threads workers, 0 = hardware concurrency); results are in
- * enumerate() order regardless of execution interleaving. Returns an
- * empty vector with *err set when an override is invalid.
+ * Run the sweep cross-product over @p base in parallel; results are in
+ * enumerate() order regardless of execution interleaving. The
+ * base.threads budget (0 = hardware concurrency) is split between
+ * point-level fan-out and each point's shard engine via
+ * innerThreadBudget, so sweep x shard nesting cannot oversubscribe.
+ * Returns an empty vector with *err set when an override is invalid.
  */
 std::vector<SweepPointResult> runSweep(const ScenarioConfig& base,
                                        const SweepSpec& spec,

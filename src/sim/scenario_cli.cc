@@ -20,7 +20,8 @@ const char* const kUsage =
     "[--mitigation NAME] [--backend NAME] [--psq-size N] "
     "[--nbo N] [--nmit N] [--insts N] [--cores N] "
     "[--channels N] [--ranks N] [--mapping NAME] [--seed N] "
-    "[--baseline] [--stats] [--list] [--list-designs]\n"
+    "[--threads N|auto] [--baseline] [--stats] [--list] "
+    "[--list-designs]\n"
     "                 [--config FILE] [--set key=value]... "
     "[--sweep key=values]... [--json] [--csv PATH]\n"
     "\n"
@@ -30,7 +31,10 @@ const char* const kUsage =
     "nmit channels ranks mapping insts cores seed llc_mb threads\n"
     "baseline). Sources: workload:NAME, trace:PATH, attack:NAME.\n"
     "--sweep takes key=v1,v2 or key=lo:hi[:step] and runs the\n"
-    "cross-product. --json / --csv emit structured results.\n";
+    "cross-product. --threads is the total budget, shared between\n"
+    "sweep points and the per-channel shard engine; results are\n"
+    "bit-identical at every thread count. --json / --csv emit\n"
+    "structured results.\n";
 
 std::string
 listEverything()
@@ -302,7 +306,7 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
             {"--nmit", "nmit"},             {"--insts", "insts"},
             {"--cores", "cores"},           {"--channels", "channels"},
             {"--ranks", "ranks"},           {"--mapping", "mapping"},
-            {"--seed", "seed"},
+            {"--seed", "seed"},             {"--threads", "threads"},
         };
         const char* mapped_key = nullptr;
         for (const auto& [flag, key] : kFlagKeys)

@@ -1,5 +1,7 @@
 #include "sim/system.h"
 
+#include <algorithm>
+
 #include "common/json.h"
 #include "common/log.h"
 
@@ -16,6 +18,9 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
     memory_ = std::make_unique<ctrl::MemorySystem>(
         cfg_.org, cfg_.timing, cfg_.ctrl, mitigation, cfg_.blast_radius);
     llc_ = std::make_unique<cpu::SharedLlc>(cfg_.llc, *memory_, mapper_);
+    const int degree = std::min(cfg_.threads, cfg_.org.channels);
+    if (degree > 1)
+        pool_ = std::make_unique<WorkerPool>(degree);
     for (int i = 0; i < cfg_.num_cores; ++i)
         cores_.push_back(std::make_unique<cpu::O3Core>(
             i, cfg_.core, *traces_[static_cast<std::size_t>(i)], *llc_));
@@ -34,19 +39,42 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
 SimResult
 System::run()
 {
+    // Epoch-phased execution (see ctrl/memory_system.h). Each
+    // iteration runs the serial main phase over [start, epoch_end) —
+    // completions due that cycle, then LLC, then cores, mailing new
+    // requests — and then advances every shard over the same cycles,
+    // in parallel when a pool is attached. The interleaving is
+    // bit-identical to the historical one-cycle loop: submits stamped
+    // t reach their controller before its tick t+1, and every
+    // completion firing in this main phase was mailed by an earlier
+    // shard phase (the epoch length is the completion lookahead).
+    const Cycle epoch = memory_->epochLength();
     Cycle cycle = 0;
-    for (; cycle < cfg_.max_cycles; ++cycle) {
-        memory_->tick(cycle);
-        llc_->tick(cycle);
-        bool all_done = true;
-        for (auto& core : cores_) {
-            core->tick(cycle);
-            all_done = all_done && core->done();
+    bool all_done = false;
+    while (cycle < cfg_.max_cycles && !all_done) {
+        const Cycle epoch_end = std::min(cycle + epoch, cfg_.max_cycles);
+        Cycle shard_end = epoch_end;
+        for (Cycle u = cycle; u < epoch_end; ++u) {
+            memory_->deliverCompletions(u);
+            llc_->tick(u);
+            all_done = true;
+            for (auto& core : cores_) {
+                core->tick(u);
+                all_done = all_done && core->done();
+            }
+            if (all_done) {
+                // The serial loop still ticked memory at the finish
+                // cycle; match it, then stop.
+                shard_end = u + 1;
+                break;
+            }
         }
-        if (all_done)
-            break;
+        memory_->runEpoch(cycle, shard_end, pool_.get());
+        cycle = shard_end;
     }
-    if (cycle >= cfg_.max_cycles)
+    if (all_done)
+        --cycle; // report the cycle the last core finished on
+    else
         warn("simulation hit max_cycles before cores finished");
     // Land any still-buffered ACT notifications before reading stats.
     memory_->flushMitigationActs();

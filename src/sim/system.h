@@ -3,6 +3,13 @@
  * Full-system wiring: cores + shared LLC + the N-channel sharded memory
  * system (one controller + DRAM device + mitigation instance per
  * channel), advanced on a single master clock (the DRAM command clock).
+ *
+ * The run loop is the epoch engine's main phase: it alternates a
+ * serial LLC+cores phase (delivering mailboxed completions, mailing
+ * new requests) with a shard phase that advances every channel by up
+ * to MemorySystem::epochLength() cycles — across a worker pool when
+ * config.threads > 1. Thread count never changes results; see
+ * ctrl/memory_system.h for the determinism argument.
  */
 #ifndef QPRAC_SIM_SYSTEM_H
 #define QPRAC_SIM_SYSTEM_H
@@ -10,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "cpu/core.h"
 #include "cpu/llc.h"
@@ -36,6 +44,12 @@ struct SystemConfig
     int num_cores = 4;
     int blast_radius = 2;
     Cycle max_cycles = 500'000'000;
+    /**
+     * Worker threads for the shard phase (clamped to the channel
+     * count; <= 1 runs every shard on the calling thread). Results are
+     * bit-identical at every value.
+     */
+    int threads = 1;
 };
 
 /** Results of one simulation (aggregated across channels). */
@@ -84,6 +98,7 @@ class System
     std::unique_ptr<cpu::SharedLlc> llc_;
     std::vector<std::unique_ptr<cpu::TraceSource>> traces_;
     std::vector<std::unique_ptr<cpu::O3Core>> cores_;
+    std::unique_ptr<WorkerPool> pool_; ///< null when threads <= 1
 };
 
 } // namespace qprac::sim

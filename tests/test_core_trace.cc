@@ -212,8 +212,10 @@ struct Machine
     void
     run(O3Core& core, Cycle cycles)
     {
+        // Drive the MemorySystem (not the bare controller): it owns the
+        // submit/completion mailboxes the LLC now talks through.
         for (Cycle c = 0; c < cycles && !core.done(); ++c) {
-            mc.tick(now);
+            msys.tick(now);
             llc.tick(now);
             core.tick(now);
             ++now;

@@ -65,8 +65,10 @@ struct Fixture
     void
     run(Cycle cycles)
     {
+        // Drive the MemorySystem (not the bare controller): it owns the
+        // submit/completion mailboxes the LLC now talks through.
         for (Cycle c = 0; c < cycles; ++c) {
-            mc.tick(now);
+            msys.tick(now);
             llc.tick(now);
             ++now;
         }

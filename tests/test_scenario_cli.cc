@@ -291,3 +291,34 @@ TEST(QpracSimCli, AttackScenarioRunsFromCli)
     EXPECT_TRUE(qprac::jsonValid(json)) << json;
     EXPECT_NE(json.find("\"kind\":\"attack\""), std::string::npos);
 }
+
+TEST(QpracSimCli, ThreadsFlagNeverChangesOutput)
+{
+    clearHarnessEnv();
+    // --threads selects the execution engine's parallelism only; the
+    // rendered report (cycles, IPC, per-channel stats) is bit-identical
+    // at every value, including the "auto" spelling.
+    std::vector<std::string> base = {"--workload", "450.soplex",
+                                     "--insts",    "5000",
+                                     "--cores",    "2",
+                                     "--channels", "2",
+                                     "--mapping",  "channel-striped",
+                                     "--stats"};
+    auto with_threads = [&](const std::string& t) {
+        std::vector<std::string> args = base;
+        args.insert(args.end(), {"--threads", t});
+        return run(args);
+    };
+    std::string serial = with_threads("1");
+    EXPECT_NE(serial.find("ch0.activations"), std::string::npos);
+    EXPECT_EQ(serial, with_threads("2"));
+    EXPECT_EQ(serial, with_threads("4"));
+    EXPECT_EQ(serial, with_threads("auto"));
+}
+
+TEST(QpracSimCli, ThreadsFlagRejectsGarbage)
+{
+    clearHarnessEnv();
+    run({"--threads", "zippy"}, 2);
+    run({"--threads", "-3"}, 2);
+}
