@@ -25,40 +25,7 @@ using sim::ScenarioConfig;
 using sim::SweepPointResult;
 using sim::SweepSpec;
 
-namespace {
-
-/** The checked-in base scenario; falls back to built-in defaults when
- * the bench runs from a directory where the file is not visible. */
-sim::ScenarioConfig
-loadBase()
-{
-    ScenarioConfig base;
-    const char* env = std::getenv("QPRAC_SCENARIO");
-    std::string path =
-        env ? env : "../examples/scenarios/ablation_channels.ini";
-    std::string err;
-    if (!ScenarioConfig::fromFile(path, &base, &err)) {
-        std::printf("note: %s; using built-in base scenario\n",
-                    err.c_str());
-        std::string set_err;
-        bool ok = base.set("source", "workload:429.mcf", &set_err) &&
-                  base.set("mitigation", "qprac+proactive-ea", &set_err);
-        if (!ok)
-            fatal(strCat("built-in base scenario invalid: ", set_err));
-    }
-    return base;
-}
-
-std::string
-override_value(const SweepPointResult& p, const std::string& key)
-{
-    for (const auto& [k, v] : p.overrides)
-        if (k == key)
-            return v;
-    return "";
-}
-
-} // namespace
+using bench::overrideValue;
 
 int
 main()
@@ -67,7 +34,10 @@ main()
                   "channel scaling: QPRAC vs MOAT over 1/2/4 channels, "
                   "epoch-engine thread scaling at 4 channels");
 
-    ScenarioConfig base = loadBase();
+    ScenarioConfig base = bench::loadBaseScenario(
+        "../examples/scenarios/ablation_channels.ini",
+        {{"source", "workload:429.mcf"},
+         {"mitigation", "qprac+proactive-ea"}});
 
     const std::vector<std::string> channel_values = {"1", "2", "4"};
     const std::vector<std::string> designs = {"qprac+proactive-ea",
@@ -80,40 +50,29 @@ main()
     std::string srcs;
     for (const auto& s : sources)
         srcs += (srcs.empty() ? "" : ",") + s;
-    auto add = [&](SweepSpec& spec, const std::string& axis) {
-        if (!spec.add(axis, &err))
-            fatal(strCat("bad sweep axis: ", err));
-    };
 
     // One insecure baseline per (channels, workload) cell, shared by
     // both designs (runComparison's base_results sharing, in sweep
     // form).
-    SweepSpec base_spec;
-    add(base_spec, "channels=1,2,4");
-    add(base_spec, "source=" + srcs);
     ScenarioConfig insecure = base;
     std::string set_err;
     if (!insecure.set("mitigation", "none", &set_err))
         fatal(strCat("bad baseline scenario: ", set_err));
-    auto base_points = sim::runSweep(insecure, base_spec, &err);
-    if (base_points.empty())
-        fatal(strCat("baseline sweep failed: ", err));
+    auto base_points = bench::runSweepAxes(
+        insecure, {"channels=1,2,4", "source=" + srcs});
     std::map<std::string, double> base_ipc; // "channels|source" -> IPC
     for (const auto& p : base_points)
-        base_ipc[override_value(p, "channels") + "|" +
-                 override_value(p, "source")] = p.result.sim.ipc_sum;
+        base_ipc[overrideValue(p, "channels") + "|" +
+                 overrideValue(p, "source")] = p.result.sim.ipc_sum;
 
-    SweepSpec spec;
-    add(spec, "channels=1,2,4");
-    add(spec, "mitigation=" + designs[0] + "," + designs[1]);
-    add(spec, "source=" + srcs);
-    auto points = sim::runSweep(base, spec, &err);
-    if (points.empty())
-        fatal(strCat("sweep failed: ", err));
+    auto points = bench::runSweepAxes(
+        base, {"channels=1,2,4",
+               "mitigation=" + designs[0] + "," + designs[1],
+               "source=" + srcs});
 
     auto norm_perf = [&](const SweepPointResult& p) {
-        double b = base_ipc.at(override_value(p, "channels") + "|" +
-                               override_value(p, "source"));
+        double b = base_ipc.at(overrideValue(p, "channels") + "|" +
+                               overrideValue(p, "source"));
         return b > 0 ? p.result.sim.ipc_sum / b : 0.0;
     };
 
@@ -121,8 +80,8 @@ main()
                           {"channels", "design", "workload", "norm_perf",
                            "alerts_per_trefi", "rbmpki"});
     for (const auto& p : points)
-        csv.addRow({override_value(p, "channels"),
-                    override_value(p, "mitigation"),
+        csv.addRow({overrideValue(p, "channels"),
+                    overrideValue(p, "mitigation"),
                     p.result.config.sourceName(),
                     Table::num(norm_perf(p), 4),
                     Table::num(p.result.sim.alerts_per_trefi, 4),
@@ -135,8 +94,8 @@ main()
             std::vector<double> perf;
             std::vector<double> alerts;
             for (const auto& p : points) {
-                if (override_value(p, "channels") != ch ||
-                    override_value(p, "mitigation") != design)
+                if (overrideValue(p, "channels") != ch ||
+                    overrideValue(p, "mitigation") != design)
                     continue;
                 perf.push_back(norm_perf(p));
                 alerts.push_back(p.result.sim.alerts_per_trefi);

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
@@ -56,6 +57,56 @@ inline sim::ExperimentConfig
 experiment()
 {
     return baseScenario().experiment();
+}
+
+/**
+ * Load a checked-in base scenario (QPRAC_SCENARIO overrides the
+ * path). When the file is not visible from the bench's cwd, fall back
+ * to the given key=value settings so the bench still runs standalone.
+ */
+inline sim::ScenarioConfig
+loadBaseScenario(
+    const std::string& default_path,
+    const std::vector<std::pair<std::string, std::string>>& fallback)
+{
+    sim::ScenarioConfig base;
+    const char* env = std::getenv("QPRAC_SCENARIO");
+    const std::string path = env ? env : default_path;
+    std::string err;
+    if (!sim::ScenarioConfig::fromFile(path, &base, &err)) {
+        std::printf("note: %s; using built-in base scenario\n",
+                    err.c_str());
+        for (const auto& [key, value] : fallback)
+            if (!base.set(key, value, &err))
+                fatal(strCat("built-in base scenario invalid: ", err));
+    }
+    return base;
+}
+
+/** The value a sweep point's axis @p key took ("" when absent). */
+inline std::string
+overrideValue(const sim::SweepPointResult& p, const std::string& key)
+{
+    for (const auto& [k, v] : p.overrides)
+        if (k == key)
+            return v;
+    return "";
+}
+
+/** Parse the axes, run the cross-product over @p base, die on errors. */
+inline std::vector<sim::SweepPointResult>
+runSweepAxes(const sim::ScenarioConfig& base,
+             const std::vector<std::string>& axes)
+{
+    sim::SweepSpec spec;
+    std::string err;
+    for (const auto& axis : axes)
+        if (!spec.add(axis, &err))
+            fatal(strCat("bad sweep axis: ", err));
+    auto points = sim::runSweep(base, spec, &err);
+    if (points.empty())
+        fatal(strCat("sweep failed: ", err));
+    return points;
 }
 
 /**

@@ -97,6 +97,10 @@ class QpracT final : public dram::RowhammerMitigation
                Cycle cycle) override;
     void onRefresh(int flat_bank, Cycle cycle) override;
     int alertingBank() const override;
+    bool bankWantsAlert(int bank) const override
+    {
+        return over_threshold_[static_cast<std::size_t>(bank)] != 0;
+    }
     const dram::MitigationStats& stats() const override { return stats_; }
     std::string name() const override { return config_.label(); }
 

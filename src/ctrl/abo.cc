@@ -1,19 +1,35 @@
 #include "ctrl/abo.h"
 
+#include "ctrl/refresh.h"
+
 namespace qprac::ctrl {
 
 AboEngine::AboEngine(const AboConfig& config,
                      const dram::TimingParams& timing)
-    : cfg_(config), t_(timing)
+    : cfg_(config),
+      t_(timing),
+      policy_(makeRecoveryPolicy(config.recovery))
 {
 }
 
 void
 AboEngine::tick(dram::DramDevice& dev, Cycle now)
 {
+    // Isolated policies: alerts are handled per bank; the channel-wide
+    // machine below still serves the policy RFM pump (Mithril/PrIDE).
+    bank_rfm_this_tick_ = false;
+    if (!policy_->channelScope()) {
+        if (!bank_)
+            bank_ = std::make_unique<BankRecoveryEngine>(
+                *policy_, t_, cfg_.nmit, cfg_.scope, dev.numBanks());
+        if (cfg_.enabled)
+            bank_rfm_this_tick_ = bank_->tick(dev, refresh_, now);
+    }
+
     switch (state_) {
       case State::Idle:
-        if (cfg_.enabled && dev.alertAsserted()) {
+        if (policy_->channelScope() && cfg_.enabled &&
+            dev.alertAsserted()) {
             ++alerts_;
             alert_bank_ =
                 dev.mitigation() ? dev.mitigation()->alertingBank() : -1;
@@ -58,7 +74,9 @@ AboEngine::tick(dram::DramDevice& dev, Cycle now)
             for (int r = 0; r < dev.organization().ranks; ++r)
                 if (!dev.rankIdle(r, now))
                     return;
-            dram::RfmScope scope = policy_mode_ ? policy_scope_ : cfg_.scope;
+            dram::RfmScope scope =
+                policy_mode_ ? policy_scope_
+                             : policy_->rfmScope(cfg_.scope);
             next_rfm_at_ = dev.issueRfm(scope, alert_bank_, now);
             --rfms_left_;
             if (policy_mode_)
@@ -100,10 +118,12 @@ AboEngine::allowCas() const
 }
 
 void
-AboEngine::noteActIssued()
+AboEngine::noteActIssued(int bank)
 {
     if (state_ == State::Window)
         ++window_acts_;
+    if (bank_ && bank >= 0)
+        bank_->noteActIssued(bank);
 }
 
 void

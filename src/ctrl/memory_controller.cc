@@ -50,6 +50,11 @@ MemoryController::MemoryController(dram::DramDevice& dev,
     bank_policy_acts_.assign(banks, 0);
     bank_rfm_pending_.assign(banks, 0);
     bank_rfm_since_.assign(banks, 0);
+    abo_.setRefresh(&refresh_);
+    if (!abo_.channelScope()) {
+        recovery_act_blocked_.assign(banks, 0);
+        recovery_cas_blocked_.assign(banks, 0);
+    }
 }
 
 bool
@@ -127,13 +132,12 @@ MemoryController::issueQuiescePre(Cycle now)
         }
         return false;
     };
-    const Cycle abo_since = abo_.quiesceSince();
     for (int b = 0; b < dev_.numBanks(); ++b) {
         if (!dev_.bank(b).isOpen())
             continue;
-        Cycle since = kNeverCycle;
-        if (abo_since != kNeverCycle)
-            since = abo_since;
+        // Channel-wide quiesce (ChannelStall / policy pump) or this
+        // bank's own isolated recovery, whichever demands it earlier.
+        Cycle since = abo_.quiesceSince(b);
         Cycle ref_since = refresh_.pendingSince(dev_.rankOf(b));
         if (ref_since != kNeverCycle)
             since = std::min(since, ref_since);
@@ -162,7 +166,7 @@ MemoryController::scheduleQueue(RequestQueue& q, bool is_write,
       case SchedDecision::Kind::Act: {
         const Request& r = q.at(d.index);
         dev_.issueAct(r.flat_bank, r.dec.row, now);
-        abo_.noteActIssued();
+        abo_.noteActIssued(r.flat_bank);
         noteActForPolicy(r.flat_bank, now);
         ++stats_.row_misses;
         return true;
@@ -279,7 +283,10 @@ MemoryController::tick(Cycle now)
     refresh_.tick(dev_, now);
     maybeTriggerPolicyRfm();
 
-    // One command per cycle on the command bus.
+    // One command per cycle on the command bus (a per-bank recovery
+    // RFM issued inside abo_.tick() counts as this cycle's command).
+    if (abo_.recoveryRfmIssuedThisTick())
+        return;
     if (issueQuiescePre(now))
         return;
     if (servicePerBankRfms(now))
@@ -293,7 +300,26 @@ MemoryController::tick(Cycle now)
     for (int r = 0; r < dev_.organization().ranks; ++r)
         if (refresh_.refPending(r))
             cons.rank_act_blocked[static_cast<std::size_t>(r)] = 1;
-    cons.bank_act_blocked = &bank_rfm_pending_;
+    const BankRecoveryEngine* engine = abo_.bankRecovery();
+    if (abo_.channelScope() || !engine || engine->idle()) {
+        // No per-bank recovery in flight (the common cycle): the
+        // engine's gates are all-open and the channel-wide gates are
+        // already in allow_act/allow_cas, so only policy RFMs block.
+        cons.bank_act_blocked = &bank_rfm_pending_;
+    } else {
+        // Isolated recovery: per-bank gates are the union of pending
+        // policy RFMs and the recovery gates (the same AboEngine
+        // overloads the unit tests assert through).
+        const int n = dev_.numBanks();
+        for (int b = 0; b < n; ++b) {
+            const auto i = static_cast<std::size_t>(b);
+            recovery_act_blocked_[i] =
+                (bank_rfm_pending_[i] || !abo_.allowAct(b)) ? 1 : 0;
+            recovery_cas_blocked_[i] = abo_.allowCas(b) ? 0 : 1;
+        }
+        cons.bank_act_blocked = &recovery_act_blocked_;
+        cons.bank_cas_blocked = &recovery_cas_blocked_;
+    }
 
     // Write drain mode hysteresis.
     if (!drain_mode_ && (writes_.size() >= cfg_.write_drain_high ||

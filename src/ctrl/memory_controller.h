@@ -135,6 +135,11 @@ class MemoryController
     std::vector<std::uint32_t> bank_policy_acts_; ///< per-bank RAA counters
     std::vector<char> bank_rfm_pending_;
     std::vector<Cycle> bank_rfm_since_;
+    /** Per-bank scheduling gates (isolated recovery policies): the
+     * union of policy-RFM pending and the recovery engine's blocking,
+     * rebuilt each tick. Unused (empty) under channel-stall. */
+    std::vector<char> recovery_act_blocked_;
+    std::vector<char> recovery_cas_blocked_;
     std::uint64_t per_bank_policy_rfms_ = 0;
     std::uint64_t next_req_id_ = 0;
     CtrlStats stats_;

@@ -15,7 +15,15 @@
 
 namespace qprac::ctrl {
 
-/** Issues REF commands and exposes the per-rank quiesce requirement. */
+/**
+ * Issues REF commands and exposes the per-rank quiesce requirement.
+ *
+ * REF has priority over recovery RFMs on its rank: the per-bank
+ * recovery engine (ctrl/recovery/bank_recovery.h) polls refPending()
+ * and defers its RFM pump while a REF is waiting for the rank to
+ * drain, so back-to-back recovery bursts under an alert storm cannot
+ * starve the refresh cadence.
+ */
 class RefreshScheduler
 {
   public:

@@ -28,6 +28,12 @@ pickFrFcfs(const RequestQueue& q, bool is_write, const dram::DramDevice& dev,
             const dram::Bank& bank = dev.bank(r.flat_bank);
             if (!bank.isOpen() || bank.openRow() != r.dec.row)
                 continue;
+            if (cons.bank_cas_blocked &&
+                r.flat_bank <
+                    static_cast<int>(cons.bank_cas_blocked->size()) &&
+                (*cons.bank_cas_blocked)[static_cast<std::size_t>(
+                    r.flat_bank)])
+                continue;
             bool ready = is_write ? dev.canWrite(r.flat_bank, now)
                                   : dev.canRead(r.flat_bank, now);
             if (ready)

@@ -27,15 +27,19 @@ struct SchedDecision
     int index = -1;
 };
 
-/** Per-cycle constraints imposed by refresh/ABO/RFM quiesce states. */
+/** Per-cycle constraints imposed by refresh/ABO/RFM/recovery states. */
 struct SchedConstraints
 {
     bool allow_act = true;
     bool allow_cas = true;
     /** Ranks with a pending REF: no new ACTs there. */
     std::vector<char> rank_act_blocked;
-    /** Banks awaiting a per-bank policy RFM: no new ACTs there. */
+    /** Banks awaiting a per-bank policy RFM or blocked by an isolated
+     * recovery: no new ACTs there. */
     const std::vector<char>* bank_act_blocked = nullptr;
+    /** Banks whose isolated recovery is pumping RFMs: no CAS there
+     * (the per-bank analogue of the channel-wide allow_cas gate). */
+    const std::vector<char>* bank_cas_blocked = nullptr;
 };
 
 /**

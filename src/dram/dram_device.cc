@@ -43,6 +43,9 @@ DramDevice::DramDevice(const Organization& org, const TimingParams& timing,
         banks_.emplace_back(t_);
     for (int r = 0; r < org_.ranks; ++r)
         rank_timing_.emplace_back(t_);
+    acts_per_bank_.assign(static_cast<std::size_t>(total), 0);
+    bank_acts_at_service_.assign(static_cast<std::size_t>(total), 0);
+    bank_alert_serviced_.assign(static_cast<std::size_t>(total), 0);
 }
 
 void
@@ -160,6 +163,7 @@ DramDevice::issueAct(int flat_bank, int row, Cycle now)
         bankgroupOf(flat_bank), now);
     ++stats_.acts;
     ++acts_total_;
+    ++acts_per_bank_[static_cast<std::size_t>(flat_bank)];
     // The PRAC counter update is synchronous (mitigations read counters
     // during RFM); only the mitigation notification is batched.
     ActCount count = counters_.onActivate(flat_bank, row);
@@ -253,11 +257,9 @@ DramDevice::issueRfm(RfmScope scope, int alert_bank, Cycle now)
     return until;
 }
 
-bool
-DramDevice::alertAsserted() const
+void
+DramDevice::sampleFlush() const
 {
-    if (!mitigation_)
-        return false;
     // ALERT_n is an observation point — but the level can only RISE
     // because of a buffered ACT whose count reaches the mitigation's
     // alert threshold (it falls only through mitigation on RFM/REF,
@@ -269,6 +271,14 @@ DramDevice::alertAsserted() const
         (alert_rise_threshold_ == 0 ||
          batch_max_count_ >= alert_rise_threshold_))
         flushMitigationActs();
+}
+
+bool
+DramDevice::alertAsserted() const
+{
+    if (!mitigation_)
+        return false;
+    sampleFlush();
     if (!mitigation_->wantsAlert())
         return false;
     // ABODelay: after an alert is serviced, the next alert may only be
@@ -286,6 +296,44 @@ DramDevice::alertServiced(Cycle now)
     (void)now;
     alert_ever_serviced_ = true;
     acts_at_last_service_ = acts_total_;
+}
+
+bool
+DramDevice::anyBankAlertRequested() const
+{
+    if (!mitigation_)
+        return false;
+    sampleFlush();
+    return mitigation_->wantsAlert();
+}
+
+bool
+DramDevice::bankAlertAsserted(int bank) const
+{
+    if (!mitigation_)
+        return false;
+    sampleFlush();
+    if (!mitigation_->bankWantsAlert(bank))
+        return false;
+    // Per-bank ABODelay: after @p bank's recovery, its next alert may
+    // only rise once the bank itself has serviced abo_delay_acts_
+    // further ACTs — one bank's activity never unlocks another's gate.
+    const auto b = static_cast<std::size_t>(bank);
+    if (bank_alert_serviced_[b] &&
+        acts_per_bank_[b] < bank_acts_at_service_[b] +
+                                static_cast<std::uint64_t>(
+                                    abo_delay_acts_))
+        return false;
+    return true;
+}
+
+void
+DramDevice::bankAlertServiced(int bank, Cycle now)
+{
+    (void)now;
+    const auto b = static_cast<std::size_t>(bank);
+    bank_alert_serviced_[b] = 1;
+    bank_acts_at_service_[b] = acts_per_bank_[b];
 }
 
 } // namespace qprac::dram

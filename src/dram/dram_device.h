@@ -137,6 +137,30 @@ class DramDevice
     /** Called by the controller when an alert's RFMs have been issued. */
     void alertServiced(Cycle now);
 
+    // --- Per-bank alert flow (isolated recovery policies) ---------------
+    /**
+     * @p bank's alert level: the mitigation's per-bank request gated by
+     * that bank's own ABODelay accounting. Per-bank recovery
+     * (ctrl/recovery) samples this instead of the channel-wide
+     * alertAsserted(), so one bank's recovery neither masks nor resets
+     * another bank's alert.
+     */
+    bool bankAlertAsserted(int bank) const;
+
+    /**
+     * Fast path for the per-bank recovery poll: true when the
+     * mitigation wants an alert on *some* bank. One virtual call per
+     * sample instead of one per bank; when false, no
+     * bankAlertAsserted() can be true.
+     */
+    bool anyBankAlertRequested() const;
+
+    /**
+     * @p bank's recovery RFMs are done: restart that bank's ABODelay
+     * gate (counted in ACTs *to that bank* — per-bank RAA accounting).
+     */
+    void bankAlertServiced(int bank, Cycle now);
+
     const DeviceStats& stats() const { return stats_; }
 
   private:
@@ -155,11 +179,18 @@ class DramDevice
     /** Highest count currently buffered in act_batch_. */
     mutable ActCount batch_max_count_ = 0;
 
+    /** Flush buffered ACTs iff one could raise the alert level. */
+    void sampleFlush() const;
+
     Cycle data_bus_free_ = 0;
     int abo_delay_acts_ = 1;
     std::uint64_t acts_total_ = 0;
     std::uint64_t acts_at_last_service_ = 0;
     bool alert_ever_serviced_ = false;
+    /** Per-bank ABODelay/RAA state (isolated recovery policies). */
+    std::vector<std::uint64_t> acts_per_bank_;
+    std::vector<std::uint64_t> bank_acts_at_service_;
+    std::vector<char> bank_alert_serviced_;
 
     DeviceStats stats_;
 };

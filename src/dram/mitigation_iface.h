@@ -121,6 +121,19 @@ class RowhammerMitigation
     /** The bank whose tracker wants the alert (-1 if none). */
     virtual int alertingBank() const = 0;
 
+    /**
+     * True when @p bank's tracker wants the alert. Per-bank recovery
+     * policies (ctrl/recovery) poll individual banks so an alert storm
+     * can put several banks in recovery concurrently; designs whose
+     * trackers are per-bank override this to report every alerting
+     * bank, not just the first. The default derives from
+     * alertingBank() and is correct (if conservative) for any design.
+     */
+    virtual bool bankWantsAlert(int bank) const
+    {
+        return alertingBank() == bank;
+    }
+
     virtual const MitigationStats& stats() const = 0;
     virtual std::string name() const = 0;
 };

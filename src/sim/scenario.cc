@@ -7,6 +7,7 @@
 
 #include "attacks/panopticon_attacks.h"
 #include "attacks/perf_attack.h"
+#include "attacks/recovery_attacks.h"
 #include "attacks/wave_attack.h"
 #include "common/csv.h"
 #include "common/json.h"
@@ -74,9 +75,11 @@ const std::vector<std::string>&
 ScenarioConfig::keys()
 {
     static const std::vector<std::string> k = {
-        "source",   "mitigation", "backend", "psq_size", "nbo",
-        "nmit",     "channels",   "ranks",   "mapping",  "insts",
-        "cores",    "seed",       "llc_mb",  "threads",  "baseline",
+        "source",   "mitigation", "backend",  "psq_size",
+        "nbo",      "nmit",       "recovery", "channels",
+        "ranks",    "mapping",    "insts",    "cores",
+        "seed",     "llc_mb",     "threads",  "baseline",
+        "r1",       "attack_cycles",
     };
     return k;
 }
@@ -139,6 +142,14 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
     if (key == "nmit")
         return parseIntInRange(value, 1, 64, &nmit) ||
                fail("expected an integer in [1, 64]");
+    if (key == "recovery") {
+        ctrl::RecoveryKind kind;
+        if (!ctrl::parseRecoveryKind(trimmed(value), &kind))
+            return fail("expected channel-stall, bank-isolated or "
+                        "group-isolated");
+        recovery = ctrl::recoveryKindName(kind);
+        return true;
+    }
     if (key == "channels") {
         int v = 0;
         if (!parseIntInRange(value, 1, 64, &v) ||
@@ -202,6 +213,23 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
     if (key == "baseline")
         return parseBool(value, &baseline) ||
                fail("expected true/false");
+    if (key == "r1")
+        return parseIntInRange(value, 1, 10'000'000, &r1) ||
+               fail("expected an integer in [1, 10000000]");
+    if (key == "attack_cycles") {
+        // 0 is the "family default" sentinel, spelled "default" like
+        // insts so a config can't silently request a zero-cycle run.
+        if (trimmed(value) == "default") {
+            attack_cycles = 0;
+            return true;
+        }
+        std::uint64_t v = 0;
+        if (!parseU64(value, &v) || v == 0 || v > 2'000'000'000)
+            return fail(
+                "expected an integer in [1, 2000000000] or 'default'");
+        attack_cycles = v;
+        return true;
+    }
     if (err)
         *err = strCat("unknown config key '", key, "'");
     return false;
@@ -222,6 +250,8 @@ ScenarioConfig::get(const std::string& key) const
         return std::to_string(nbo);
     if (key == "nmit")
         return std::to_string(nmit);
+    if (key == "recovery")
+        return recovery;
     if (key == "channels")
         return std::to_string(channels);
     if (key == "ranks")
@@ -240,6 +270,10 @@ ScenarioConfig::get(const std::string& key) const
         return std::to_string(threads);
     if (key == "baseline")
         return baseline ? "true" : "false";
+    if (key == "r1")
+        return std::to_string(r1);
+    if (key == "attack_cycles")
+        return attack_cycles ? std::to_string(attack_cycles) : "default";
     fatal(strCat("ScenarioConfig::get: unknown key '", key, "'"));
 }
 
@@ -328,9 +362,12 @@ ScenarioConfig::validate(std::string* err) const
     for (const auto& key : keys())
         if (!probe.set(key, get(key), err))
             return false;
-    if (sourceKind() == SourceKind::Attack && channels != 1) {
+    if (sourceKind() == SourceKind::Attack && channels != 1 &&
+        !ScenarioRegistry::instance().attackSupportsChannels(
+            sourceName())) {
         if (err)
-            *err = "attack scenarios are single-channel event models";
+            *err = strCat("attack '", sourceName(),
+                          "' is a single-channel event model");
         return false;
     }
     return true;
@@ -391,6 +428,8 @@ ScenarioConfig::design() const
     d.label = mitigation;
     d.abo.enabled = mitigation != "none";
     d.abo.nmit = nmit;
+    if (!ctrl::parseRecoveryKind(recovery, &d.abo.recovery))
+        fatal(strCat("bad recovery policy '", recovery, "'"));
     d.factory = [name = mitigation,
                  params](dram::PracCounters* counters) {
         return mitigations::MitigationRegistry::instance().create(
@@ -531,6 +570,7 @@ runWaveScenario(const ScenarioConfig& cfg)
     attacks::WaveAttackConfig a;
     a.nbo = cfg.nbo;
     a.nmit = cfg.nmit;
+    a.r1 = cfg.r1;
     if (cfg.psq_size > 0)
         a.psq_size = cfg.psq_size;
     a.ideal = cfg.mitigation.find("ideal") != std::string::npos;
@@ -552,6 +592,8 @@ runPerfScenario(const ScenarioConfig& cfg)
     attacks::PerfAttackConfig a;
     a.nbo = cfg.nbo;
     a.nmit = cfg.nmit;
+    if (cfg.attack_cycles)
+        a.sim_cycles = static_cast<Cycle>(cfg.attack_cycles);
     a.proactive = mentionsProactive(cfg.mitigation);
     a.mitigation_enabled = cfg.mitigation != "none";
     attacks::PerfAttackResult r = attacks::runPerfAttack(a);
@@ -587,6 +629,91 @@ panopticonConfig(const ScenarioConfig& cfg)
     return a;
 }
 
+/** Map the shared scenario knobs onto the recovery attack driver. */
+attacks::RecoveryAttackConfig
+recoveryAttackConfig(const ScenarioConfig& cfg, int attack_banks)
+{
+    attacks::RecoveryAttackConfig a;
+    a.org.channels = cfg.channels;
+    a.org.ranks = cfg.ranks;
+    DesignSpec d = cfg.design();
+    a.timing = d.timing;
+    a.ctrl.abo = d.abo;
+    a.ctrl.rfm_policy = d.rfm_policy;
+    a.mitigation = d.factory;
+    if (!dram::parseMappingScheme(cfg.mapping, &a.mapping))
+        fatal(strCat("bad mapping scheme '", cfg.mapping, "'"));
+    if (cfg.attack_cycles)
+        a.attack_cycles = static_cast<Cycle>(cfg.attack_cycles);
+    a.attack_banks = std::min(attack_banks, a.org.banksPerRank() - 1);
+    return a;
+}
+
+void
+probeStatsTo(StatSet& s, const std::string& prefix,
+             const attacks::ProbeStats& quiet,
+             const attacks::ProbeStats& attacked)
+{
+    s.set(prefix + "_quiet_lat", quiet.mean());
+    s.set(prefix + "_attack_lat", attacked.mean());
+    s.set(prefix + "_probes",
+          static_cast<double>(quiet.probes + attacked.probes));
+}
+
+StatSet
+runRfmProbeScenario(const ScenarioConfig& cfg)
+{
+    attacks::RfmProbeResult r =
+        attacks::runRfmProbeAttack(recoveryAttackConfig(cfg, 1));
+    StatSet s;
+    s.set("attack.alerts", static_cast<double>(r.alerts));
+    s.set("attack.rfms", static_cast<double>(r.rfms));
+    s.set("attack.attacker_acts",
+          static_cast<double>(r.attacker_acts));
+    probeStatsTo(s, "attack.near", r.near_quiet, r.near_attack);
+    probeStatsTo(s, "attack.far", r.far_quiet, r.far_attack);
+    s.set("attack.near_excess", r.nearExcess());
+    s.set("attack.far_excess", r.farExcess());
+    s.set("attack.leakage_signal", r.leakageSignal());
+    return s;
+}
+
+StatSet
+runRecoveryDosScenario(const ScenarioConfig& cfg)
+{
+    attacks::RecoveryDosResult r =
+        attacks::runRecoveryDosAttack(recoveryAttackConfig(cfg, 8));
+    StatSet s;
+    s.set("attack.alerts", static_cast<double>(r.alerts));
+    s.set("attack.rfms", static_cast<double>(r.rfms));
+    s.set("attack.attacker_acts",
+          static_cast<double>(r.attacker_acts));
+    s.set("attack.peak_concurrent_recoveries",
+          static_cast<double>(r.peak_concurrent_recoveries));
+    probeStatsTo(s, "attack.victim", r.victim_quiet, r.victim_attack);
+    s.set("attack.victim_slowdown", r.victimSlowdown());
+    return s;
+}
+
+void
+registerRecoveryAttacks(ScenarioRegistry& reg)
+{
+    const std::vector<std::string> keys = {
+        "recovery", "channels", "ranks",   "mitigation",
+        "backend",  "psq_size", "nbo",     "nmit",
+        "mapping",  "attack_cycles"};
+    reg.registerAttack(
+        "rfm-probe",
+        "cross-bank/cross-channel recovery timing channel "
+        "(\"When Mitigations Backfire\")",
+        {keys, /*multi_channel=*/true}, runRfmProbeScenario);
+    reg.registerAttack(
+        "recovery-dos",
+        "worst-case multi-bank alert storm against recovery blocking "
+        "(PRACtical)",
+        {keys, /*multi_channel=*/true}, runRecoveryDosScenario);
+}
+
 } // namespace
 
 ScenarioRegistry::ScenarioRegistry()
@@ -594,14 +721,18 @@ ScenarioRegistry::ScenarioRegistry()
     registerAttack(
         "wave",
         "Wave/Feinting attack on QPRAC's bounded PSQ (paper §IV-A/B)",
+        {{"nbo", "nmit", "psq_size", "mitigation", "r1"}, false},
         runWaveScenario);
     registerAttack(
         "perf",
         "multi-bank alert-storm performance attack (paper §VI-E)",
+        {{"nbo", "nmit", "mitigation", "baseline", "attack_cycles"},
+         false},
         runPerfScenario);
     registerAttack(
         "toggle-forget",
         "Toggle+Forget on t-bit FIFO PRAC (paper Fig 2)",
+        {{"psq_size", "nmit"}, false},
         [](const ScenarioConfig& cfg) {
             return panopticonStats(
                 attacks::toggleForgetAttack(panopticonConfig(cfg)));
@@ -609,6 +740,7 @@ ScenarioRegistry::ScenarioRegistry()
     registerAttack(
         "fill-escape",
         "Fill+Escape on full-counter FIFO PRAC (paper Fig 3)",
+        {{"psq_size", "nmit"}, false},
         [](const ScenarioConfig& cfg) {
             return panopticonStats(
                 attacks::fillEscapeAttack(panopticonConfig(cfg)));
@@ -616,10 +748,12 @@ ScenarioRegistry::ScenarioRegistry()
     registerAttack(
         "blocking-tbit",
         "blocking t-bit variant, ABO_ACT cannot toggle (paper Fig 23)",
+        {{"psq_size", "nmit"}, false},
         [](const ScenarioConfig& cfg) {
             return panopticonStats(
                 attacks::blockingTbitAttack(panopticonConfig(cfg)));
         });
+    registerRecoveryAttacks(*this);
 }
 
 ScenarioRegistry&
@@ -656,10 +790,13 @@ ScenarioRegistry::sources() const
                        SourceKind::Workload,
                        strCat(w.suite, " profile, ~",
                               static_cast<int>(w.expectedRbmpki()),
-                              " RBMPKI")});
-    for (const auto& name : attack_order_)
+                              " RBMPKI"),
+                       {}});
+    for (const auto& name : attack_order_) {
+        const AttackEntry& e = attacks_.at(name);
         out.push_back({strCat(kAttackPrefix, name), SourceKind::Attack,
-                       attacks_.at(name).description});
+                       e.description, e.options.keys});
+    }
     return out;
 }
 
@@ -668,9 +805,25 @@ ScenarioRegistry::registerAttack(const std::string& name,
                                  const std::string& description,
                                  AttackRunner run)
 {
+    registerAttack(name, description, AttackOptions{}, std::move(run));
+}
+
+void
+ScenarioRegistry::registerAttack(const std::string& name,
+                                 const std::string& description,
+                                 AttackOptions options, AttackRunner run)
+{
     if (!attacks_.count(name))
         attack_order_.push_back(name);
-    attacks_[name] = AttackEntry{description, std::move(run)};
+    attacks_[name] =
+        AttackEntry{description, std::move(options), std::move(run)};
+}
+
+bool
+ScenarioRegistry::attackSupportsChannels(const std::string& name) const
+{
+    auto it = attacks_.find(name);
+    return it != attacks_.end() && it->second.options.multi_channel;
 }
 
 ScenarioResult

@@ -64,6 +64,12 @@ struct ScenarioConfig
     int psq_size = 0;    ///< PSQ entries per bank (0 = design default)
     int nbo = 32;        ///< Back-Off threshold
     int nmit = 1;        ///< RFMs per alert
+    /**
+     * ALERT_n recovery blocking granularity (ctrl/recovery):
+     * "channel-stall" (QPRAC ABO, the default), "bank-isolated"
+     * (PRACtical-style) or "group-isolated" (bank-group middle point).
+     */
+    std::string recovery = "channel-stall";
 
     // --- geometry -----------------------------------------------------
     int channels = 1;
@@ -89,6 +95,16 @@ struct ScenarioConfig
      */
     int threads = 0;
     bool baseline = false;    ///< also run the insecure baseline
+
+    // --- attack-family knobs -------------------------------------------
+    /** Wave/Feinting starting pool size (attack:wave r1). */
+    int r1 = 2000;
+    /**
+     * Cycle budget for the cycle-level attack families (attack:perf,
+     * attack:rfm-probe, attack:recovery-dos). 0 = family default,
+     * spelled "default" in configs.
+     */
+    std::uint64_t attack_cycles = 0;
 
     /** Canonical key order (serialization and listings). */
     static const std::vector<std::string>& keys();
@@ -178,11 +194,24 @@ class ScenarioRegistry
   public:
     using AttackRunner = std::function<StatSet(const ScenarioConfig&)>;
 
+    /** Registration metadata for one attack family. */
+    struct AttackOptions
+    {
+        /** Scenario keys the family's runner maps onto its config
+         * (printed by `qprac_sim --list-attacks`). */
+        std::vector<std::string> keys;
+        /** True when the family models multiple channels (validate()
+         * rejects channels != 1 for single-channel event models). */
+        bool multi_channel = false;
+    };
+
     struct SourceInfo
     {
         std::string name; ///< canonical prefixed form ("attack:wave")
         SourceKind kind;
         std::string description;
+        /** Accepted scenario keys (attack families only). */
+        std::vector<std::string> keys;
     };
 
     static ScenarioRegistry& instance();
@@ -196,6 +225,14 @@ class ScenarioRegistry
     /** Register (or replace) an attack family. */
     void registerAttack(const std::string& name,
                         const std::string& description, AttackRunner run);
+
+    /** Register (or replace) an attack family with metadata. */
+    void registerAttack(const std::string& name,
+                        const std::string& description,
+                        AttackOptions options, AttackRunner run);
+
+    /** True when attack @p name models multiple channels. */
+    bool attackSupportsChannels(const std::string& name) const;
 
     /**
      * Run any scenario; fatal() on unresolvable sources.
@@ -213,6 +250,7 @@ class ScenarioRegistry
     struct AttackEntry
     {
         std::string description;
+        AttackOptions options;
         AttackRunner run;
     };
 

@@ -20,16 +20,20 @@ const char* const kUsage =
     "[--mitigation NAME] [--backend NAME] [--psq-size N] "
     "[--nbo N] [--nmit N] [--insts N] [--cores N] "
     "[--channels N] [--ranks N] [--mapping NAME] [--seed N] "
-    "[--threads N|auto] [--baseline] [--stats] [--list] "
-    "[--list-designs]\n"
+    "[--threads N|auto] [--recovery NAME] [--baseline] [--stats] "
+    "[--list] [--list-designs] [--list-attacks]\n"
     "                 [--config FILE] [--set key=value]... "
     "[--sweep key=values]... [--json] [--csv PATH]\n"
     "\n"
     "Every run is a scenario: legacy flags and --set overrides apply\n"
     "in command-line order on top of --config FILE (an INI of\n"
     "key = value lines; keys: source mitigation backend psq_size nbo\n"
-    "nmit channels ranks mapping insts cores seed llc_mb threads\n"
-    "baseline). Sources: workload:NAME, trace:PATH, attack:NAME.\n"
+    "nmit recovery channels ranks mapping insts cores seed llc_mb\n"
+    "threads baseline r1 attack_cycles). Sources: workload:NAME,\n"
+    "trace:PATH, attack:NAME (--list-attacks shows each family's\n"
+    "accepted keys). --recovery selects the ALERT_n blocking domain:\n"
+    "channel-stall (QPRAC ABO), bank-isolated (PRACtical-style) or\n"
+    "group-isolated.\n"
     "--sweep takes key=v1,v2 or key=lo:hi[:step] and runs the\n"
     "cross-product. --threads is the total budget, shared between\n"
     "sweep points and the per-channel shard engine; results are\n"
@@ -69,6 +73,26 @@ listDesigns()
     out += t.toString();
     out += "\nqprac designs accept an @backend suffix "
            "(linear | heap | coalescing), e.g. qprac@heap.\n";
+    return out;
+}
+
+std::string
+listAttacks()
+{
+    std::string out =
+        "attack scenarios (select with --set source=attack:NAME):\n";
+    Table t({"source", "description", "accepted keys"});
+    for (const auto& s : ScenarioRegistry::instance().sources()) {
+        if (s.kind != SourceKind::Attack)
+            continue;
+        std::string keys;
+        for (const auto& key : s.keys)
+            keys += (keys.empty() ? "" : " ") + key;
+        t.addRow({s.name, s.description, keys});
+    }
+    out += t.toString();
+    out += "\nEvery family also honours the shared run keys (seed, "
+           "threads);\nkeys not listed are ignored by that family.\n";
     return out;
 }
 
@@ -307,6 +331,7 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
             {"--cores", "cores"},           {"--channels", "channels"},
             {"--ranks", "ranks"},           {"--mapping", "mapping"},
             {"--seed", "seed"},             {"--threads", "threads"},
+            {"--recovery", "recovery"},
         };
         const char* mapped_key = nullptr;
         for (const auto& [flag, key] : kFlagKeys)
@@ -360,6 +385,9 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
             return 0;
         } else if (arg == "--list-designs") {
             *out += listDesigns();
+            return 0;
+        } else if (arg == "--list-attacks") {
+            *out += listAttacks();
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             *out += kUsage;

@@ -131,6 +131,82 @@ TEST(Determinism, SweepResultsIdenticalAcrossThreadBudgets)
     EXPECT_EQ(serial, run_all(4));
 }
 
+// --- Recovery policies (ctrl/recovery) --------------------------------
+
+TEST(Determinism, RecoveryChannelStallIsTheDefaultBitIdentical)
+{
+    // recovery=channel-stall must be a no-op spelling of the default:
+    // same cycles, same stats, bit for bit — on an alert-active config
+    // (low NBO) where a recovery-path difference could not hide.
+    for (int channels : {1, 2}) {
+        ScenarioConfig def = baseConfig(channels, "510.parest_r");
+        def.nbo = 8;
+        ScenarioConfig stall = def;
+        std::string err;
+        ASSERT_TRUE(stall.set("recovery", "channel-stall", &err)) << err;
+        EXPECT_EQ(sim::runScenario(def, 1).resultJson(),
+                  sim::runScenario(stall, 1).resultJson())
+            << "channels=" << channels;
+    }
+}
+
+TEST(Determinism, BankIsolatedRecoveryActuallyChangesTheSimulation)
+{
+    // Plumbing proof: on the same alert-active config the isolated
+    // policy must produce a different execution than channel-stall
+    // (otherwise the axis silently no-ops).
+    ScenarioConfig stall = baseConfig(1, "510.parest_r");
+    stall.nbo = 8;
+    stall.insts = 30'000; // long enough for PRAC counts to reach NBO
+    ScenarioConfig isolated = stall;
+    std::string err;
+    ASSERT_TRUE(isolated.set("recovery", "bank-isolated", &err)) << err;
+    ScenarioResult a = sim::runScenario(stall, 1);
+    ScenarioResult b = sim::runScenario(isolated, 1);
+    // Recoveries must actually have run for the comparison to mean
+    // anything.
+    EXPECT_GT(a.sim.stats.getOr("ctrl.alerts", 0), 0.0);
+    EXPECT_GT(b.sim.stats.getOr("ctrl.alerts", 0), 0.0);
+    EXPECT_NE(a.resultJson(), b.resultJson());
+}
+
+TEST(Determinism, IsolatedRecoveryDeterministicAcrossThreadsAndChannels)
+{
+    // Per-bank recovery state is shard-local; thread count must not
+    // change a bit of it, at any channel count, for either policy.
+    for (const char* recovery : {"bank-isolated", "group-isolated"}) {
+        for (int channels : {1, 2, 4}) {
+            ScenarioConfig cfg = baseConfig(channels, "510.parest_r");
+            cfg.nbo = 8; // alert-active so recoveries actually run
+            cfg.insts = 20'000;
+            std::string err;
+            ASSERT_TRUE(cfg.set("recovery", recovery, &err)) << err;
+            const std::string serial = runWithThreads(cfg, 1);
+            for (int threads : {2, 4})
+                EXPECT_EQ(serial, runWithThreads(cfg, threads))
+                    << recovery << " channels=" << channels
+                    << " threads=" << threads;
+        }
+    }
+}
+
+TEST(Determinism, RecoveryAttacksUnaffectedByThreadBudget)
+{
+    // The recovery attack drivers run the serial MemorySystem tick
+    // path; like every attack family their output must be
+    // budget-independent.
+    for (const char* source : {"attack:rfm-probe", "attack:recovery-dos"}) {
+        ScenarioConfig cfg;
+        std::string err;
+        ASSERT_TRUE(cfg.set("source", source, &err)) << err;
+        ASSERT_TRUE(cfg.set("channels", "2", &err)) << err;
+        ASSERT_TRUE(cfg.set("recovery", "bank-isolated", &err)) << err;
+        ASSERT_TRUE(cfg.set("attack_cycles", "40000", &err)) << err;
+        const std::string serial = runWithThreads(cfg, 1);
+        EXPECT_EQ(serial, runWithThreads(cfg, 4)) << source;
+    }
+}
+
 TEST(Determinism, ThreadsKeyValidatesAndSupportsAuto)
 {
     ScenarioConfig cfg;

@@ -287,8 +287,16 @@ TEST(ScenarioRegistryTest, ExposesWorkloadsAndAttacks)
     EXPECT_TRUE(reg.has("attack:toggle-forget"));
     EXPECT_TRUE(reg.has("attack:fill-escape"));
     EXPECT_TRUE(reg.has("attack:blocking-tbit"));
+    EXPECT_TRUE(reg.has("attack:rfm-probe"));
+    EXPECT_TRUE(reg.has("attack:recovery-dos"));
     EXPECT_FALSE(reg.has("attack:nope"));
     EXPECT_FALSE(reg.has("no.such.workload"));
+
+    // Only the recovery attacks model multiple channels.
+    EXPECT_TRUE(reg.attackSupportsChannels("rfm-probe"));
+    EXPECT_TRUE(reg.attackSupportsChannels("recovery-dos"));
+    EXPECT_FALSE(reg.attackSupportsChannels("wave"));
+    EXPECT_FALSE(reg.attackSupportsChannels("nope"));
 
     int workloads = 0;
     int attacks = 0;
@@ -298,10 +306,11 @@ TEST(ScenarioRegistryTest, ExposesWorkloadsAndAttacks)
         if (s.kind == SourceKind::Attack) {
             ++attacks;
             EXPECT_FALSE(s.description.empty());
+            EXPECT_FALSE(s.keys.empty()) << s.name;
         }
     }
     EXPECT_EQ(workloads, 57);
-    EXPECT_EQ(attacks, 5);
+    EXPECT_EQ(attacks, 7);
 }
 
 TEST(ScenarioRegistryTest, RunsSystemScenario)
