@@ -1,8 +1,10 @@
 /**
  * @file
  * Ablation — channel scaling: weighted speedup and alerts/tREFI for
- * QPRAC vs MOAT over 1/2/4 independent DRAM channels, plus the epoch
- * engine's wall-clock scaling on a threaded 4-channel run.
+ * QPRAC vs MOAT over 1/2/4 independent DRAM channels, plus the engine
+ * scaling matrix: v1 (alternating) vs v2 (pipelined + work-stealing,
+ * optionally threaded cores) over channels x threads, emitted to
+ * BENCH_engine.json.
  *
  * The whole figure is driven by the checked-in scenario file
  * examples/scenarios/ablation_channels.ini and two sweep specs — no
@@ -18,6 +20,8 @@
  */
 #include "bench_common.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 
 using namespace qprac;
@@ -32,7 +36,7 @@ main()
 {
     bench::banner("Ablation",
                   "channel scaling: QPRAC vs MOAT over 1/2/4 channels, "
-                  "epoch-engine thread scaling at 4 channels");
+                  "engine v1-vs-v2 scaling matrix at 4/8 channels");
 
     ScenarioConfig base = bench::loadBaseScenario(
         "../examples/scenarios/ablation_channels.ini",
@@ -109,56 +113,160 @@ main()
     }
     t.print();
 
-    // --- Epoch-engine thread scaling at 4 channels ---------------------
-    // One point per thread budget; runSweep times each point, and the
-    // recorded speedup is wall(threads=1) / wall(threads=N). Simulation
-    // output is bit-identical across rows (asserted here), so only the
-    // wall clock moves — and only up to the physical core count.
-    ScenarioConfig scaling = base;
-    bool ok = scaling.set("baseline", "false", &set_err) &&
-              scaling.set("channels", "4", &set_err) &&
-              scaling.set("mapping", "channel-striped", &set_err) &&
-              scaling.set("source", "workload:429.mcf", &set_err);
-    if (!ok)
-        fatal(strCat("bad scaling scenario: ", set_err));
+    // --- Engine scaling: v1 vs v2, channels x threads ------------------
+    // One row per (channels, engine, threads). v1 is the PR 4
+    // alternating engine (pipeline=off, steal=off); v2 is the pipelined
+    // + work-stealing engine; v2+corepar additionally threads the
+    // cores. v1 and v2 outputs are asserted bit-identical per channel
+    // count, and every engine is asserted thread-count-invariant, so
+    // the only thing that moves between rows is the wall clock.
+    // Speedups are vs the v1 threads=1 row of the same channel count.
+    // The whole matrix is written to BENCH_engine.json (the checked-in
+    // copy records a reference machine; QPRAC_BENCH_ENGINE_OUT moves
+    // it).
+    struct Engine
+    {
+        const char* label;
+        const char* pipeline;
+        const char* steal;
+        const char* corepar;
+    };
+    const std::vector<Engine> engines = {
+        {"v1", "off", "off", "off"},
+        {"v2", "on", "on", "off"},
+        {"v2+corepar", "on", "on", "on"},
+    };
 
-    bench::ResultSink scale_csv("ablation_channels_scaling",
-                                {"threads", "wall_ms", "speedup_vs_t1",
-                                 "cycles", "ipc_sum"});
-    Table st({"threads", "wall ms", "speedup vs t1"});
-    double wall_t1 = 0.0;
-    std::string json_t1;
-    for (int threads : {1, 2, 4}) {
-        scaling.threads = threads;
-        auto run = sim::runSweep(scaling, SweepSpec{}, &err);
-        if (run.size() != 1)
-            fatal(strCat("scaling run failed: ", err));
-        const SweepPointResult& p = run.front();
-        const std::string json = p.result.resultJson();
-        if (threads == 1) {
-            wall_t1 = p.wall_ms;
-            json_t1 = json;
-        } else if (json != json_t1) {
-            fatal("threaded run diverged from threads=1 output");
+    bench::ResultSink scale_csv(
+        "ablation_channels_scaling",
+        {"channels", "engine", "threads", "wall_ms", "sim_cycles_per_sec",
+         "speedup_vs_v1_t1", "cycles", "ipc_sum"});
+    Table st({"channels", "engine", "threads", "wall ms", "Mcycles/s",
+              "speedup vs v1 t1"});
+
+    JsonWriter bench_json;
+    bench_json.beginObject();
+    bench_json.key("bench").value("engine_scaling");
+    bench_json.key("hardware_threads").value(
+        static_cast<std::uint64_t>(hardwareThreads()));
+    bench_json.key("rows").beginArray();
+
+    double wall_v1_t1_8ch = 0.0, wall_v2_t4_8ch = 0.0;
+    for (const char* ch : {"4", "8"}) {
+        ScenarioConfig scaling = base;
+        bool ok = scaling.set("baseline", "false", &set_err) &&
+                  scaling.set("channels", ch, &set_err) &&
+                  scaling.set("mapping", "channel-striped", &set_err) &&
+                  scaling.set("source", "workload:429.mcf", &set_err);
+        if (!ok)
+            fatal(strCat("bad scaling scenario: ", set_err));
+
+        double wall_v1_t1 = 0.0;
+        std::string json_v1; // v1/v2 identity reference
+        std::map<std::string, std::string> json_t1; // per-engine t1 ref
+        for (const auto& eng : engines) {
+            ok = scaling.set("pipeline", eng.pipeline, &set_err) &&
+                 scaling.set("steal", eng.steal, &set_err) &&
+                 scaling.set("corepar", eng.corepar, &set_err);
+            if (!ok)
+                fatal(strCat("bad engine override: ", set_err));
+            for (int threads : {1, 2, 4}) {
+                scaling.threads = threads;
+                auto run = sim::runSweep(scaling, SweepSpec{}, &err);
+                if (run.size() != 1)
+                    fatal(strCat("scaling run failed: ", err));
+                const SweepPointResult& p = run.front();
+                const std::string json = p.result.resultJson();
+                // Thread-count invariance within each engine…
+                auto [it, fresh] = json_t1.emplace(eng.label, json);
+                if (!fresh && it->second != json)
+                    fatal(strCat(eng.label,
+                                 " diverged across thread counts"));
+                // …and v2 must be bit-identical to v1 outright.
+                if (std::string(eng.label) == "v1") {
+                    json_v1 = json;
+                    if (threads == 1)
+                        wall_v1_t1 = p.wall_ms;
+                } else if (std::string(eng.label) == "v2" &&
+                           json != json_v1) {
+                    fatal("v2 engine diverged from v1 output");
+                }
+                if (std::string(ch) == "8") {
+                    if (std::string(eng.label) == "v1" && threads == 1)
+                        wall_v1_t1_8ch = p.wall_ms;
+                    if (std::string(eng.label) == "v2" && threads == 4)
+                        wall_v2_t4_8ch = p.wall_ms;
+                }
+                const double speedup =
+                    p.wall_ms > 0 ? wall_v1_t1 / p.wall_ms : 0.0;
+                const double mcps = p.sim_cycles_per_sec / 1e6;
+                scale_csv.addRow(
+                    {ch, eng.label, Table::num(threads, 0),
+                     Table::num(p.wall_ms, 1), Table::num(mcps, 2),
+                     Table::num(speedup, 2),
+                     Table::num(double(p.result.sim.cycles), 0),
+                     Table::num(p.result.sim.ipc_sum, 3)});
+                st.addRow({ch, eng.label, Table::num(threads, 0),
+                           Table::num(p.wall_ms, 1),
+                           Table::num(mcps, 2),
+                           Table::num(speedup, 2)});
+                bench_json.beginObject();
+                bench_json.key("channels").value(ch);
+                bench_json.key("engine").value(eng.label);
+                bench_json.key("threads").value(
+                    static_cast<std::uint64_t>(threads));
+                bench_json.key("wall_ms").value(p.wall_ms);
+                bench_json.key("sim_cycles_per_sec")
+                    .value(p.sim_cycles_per_sec);
+                bench_json.key("speedup_vs_v1_t1").value(speedup);
+                bench_json.endObject();
+            }
         }
-        double speedup = p.wall_ms > 0 ? wall_t1 / p.wall_ms : 0.0;
-        scale_csv.addRow({Table::num(threads, 0),
-                          Table::num(p.wall_ms, 1),
-                          Table::num(speedup, 2),
-                          Table::num(double(p.result.sim.cycles), 0),
-                          Table::num(p.result.sim.ipc_sum, 3)});
-        st.addRow({Table::num(threads, 0), Table::num(p.wall_ms, 1),
-                   Table::num(speedup, 2)});
     }
     st.print();
+
+    bench_json.endArray();
+    bench_json.endObject();
+    const char* out_env = std::getenv("QPRAC_BENCH_ENGINE_OUT");
+    const std::string out_path = out_env ? out_env : "BENCH_engine.json";
+    {
+        std::ofstream out(out_path);
+        if (out)
+            out << bench_json.str() << "\n";
+        else
+            std::printf("note: could not write %s\n", out_path.c_str());
+    }
+
+    // CI smoke hook: on a multi-core runner the v2 engine at 4 threads
+    // must clearly beat the v1 engine at 1 thread on the 8-channel
+    // point (generous 1.5x bar; scaling is machine noise on fewer than
+    // 4 hardware threads, so the assert is opt-in and self-skipping).
+    if (std::getenv("QPRAC_ASSERT_SCALING")) {
+        if (hardwareThreads() < 4) {
+            std::printf("scaling assert skipped: only %d hardware "
+                        "threads\n",
+                        hardwareThreads());
+        } else {
+            const double ratio = wall_v2_t4_8ch > 0
+                                     ? wall_v1_t1_8ch / wall_v2_t4_8ch
+                                     : 0.0;
+            std::printf("scaling assert: v2@4t vs v1@1t at 8 channels "
+                        "= %.2fx\n",
+                        ratio);
+            if (ratio < 1.5)
+                fatal(strCat("engine v2 scaling below bar: ",
+                             Table::num(ratio, 2), "x < 1.5x"));
+        }
+    }
 
     std::printf(
         "\nTakeaway: sharding the memory system across channels spreads "
         "activations, so per-bank PRAC counts grow more slowly and both "
         "designs alert less; QPRAC's slowdown stays near zero at every "
-        "channel count. The epoch engine keeps threaded runs "
-        "bit-identical, so the thread-scaling rows differ only in wall "
-        "clock (bounded by the physical core count: %d here).\n",
-        hardwareThreads());
+        "channel count. The engine matrix shows v2's pipelined overlap "
+        "and work stealing: identical simulation output to v1 at every "
+        "row, wall clock bounded by the physical core count (%d here), "
+        "full numbers in %s.\n",
+        hardwareThreads(), out_path.c_str());
     return 0;
 }

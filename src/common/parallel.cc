@@ -81,6 +81,14 @@ void
 WorkerPool::workChunk()
 {
     const auto& fn = *job_;
+    if (mode_ == Dispatch::Steal) {
+        // Every task was enqueued before the dispatch was published, so
+        // an empty ring means the work is gone, not late.
+        std::size_t i = 0;
+        while (steal_->pop(&i))
+            fn(i);
+        return;
+    }
     while (true) {
         std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
         if (i >= count_)
@@ -128,11 +136,24 @@ WorkerPool::workerLoop()
 
 void
 WorkerPool::run(std::size_t count,
-                const std::function<void(std::size_t)>& fn)
+                const std::function<void(std::size_t)>& fn, Dispatch mode)
 {
+    dispatch(count, fn, mode);
+    wait();
+}
+
+void
+WorkerPool::dispatch(std::size_t count,
+                     const std::function<void(std::size_t)>& fn,
+                     Dispatch mode)
+{
+    QP_ASSERT(!pending_, "WorkerPool::dispatch while one is pending");
     if (count == 0)
         return;
     if (workers_.empty()) {
+        // No lanes to overlap with: run inline. The caller's serial
+        // phase then simply follows instead of interleaving — the
+        // engine's phase separation makes the two orders equivalent.
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
@@ -140,15 +161,34 @@ WorkerPool::run(std::size_t count,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         QP_ASSERT(active_.load(std::memory_order_acquire) == 0,
-                  "WorkerPool::run is not reentrant");
+                  "WorkerPool dispatch is not reentrant");
         job_ = &fn;
         count_ = count;
-        next_.store(0, std::memory_order_relaxed);
+        mode_ = mode;
+        if (mode == Dispatch::Steal) {
+            if (!steal_ || steal_->capacity() < count)
+                steal_ = std::make_unique<MpmcRing<std::size_t>>(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                bool ok = steal_->push(std::size_t(i));
+                QP_ASSERT(ok, "steal ring full at dispatch");
+            }
+        } else {
+            next_.store(0, std::memory_order_relaxed);
+        }
         active_.store(static_cast<int>(workers_.size()),
                       std::memory_order_release);
         generation_.fetch_add(1, std::memory_order_acq_rel);
+        pending_ = true;
     }
     wake_.notify_all();
+}
+
+void
+WorkerPool::wait()
+{
+    if (!pending_)
+        return;
+    pending_ = false;
     workChunk(); // the caller is one lane of the pool
     for (int spin = 0; spin < kSpinIters; ++spin) {
         if (active_.load(std::memory_order_acquire) == 0) {

@@ -13,9 +13,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mpmc.h"
 
 namespace qprac {
 
@@ -65,10 +68,46 @@ class WorkerPool
     int degree() const { return static_cast<int>(workers_.size()) + 1; }
 
     /**
+     * How indices are handed to lanes. Counter is the v1 static-claim
+     * scheme (a shared fetch_add counter); Steal drains a lock-free
+     * MPMC task ring, so lanes that finish cheap tasks steal the
+     * expensive ones instead of idling — the win shows when task costs
+     * are skewed (hot channels, heterogeneous core+shard task lists).
+     * Either mode executes every index exactly once; the choice never
+     * affects simulation results.
+     */
+    enum class Dispatch
+    {
+        Counter,
+        Steal,
+    };
+
+    /**
      * Run fn(i) for i in [0, count) across the pool plus the caller;
      * returns after all indices finished. Not reentrant.
      */
-    void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+    void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+             Dispatch mode = Dispatch::Counter);
+
+    /**
+     * Asynchronous half of run(): publish the job to the workers and
+     * return immediately so the caller can overlap its own (serial)
+     * work — the pipelined engine's main phase. @p fn must stay alive
+     * until the matching wait() returns. With no workers (degree 1)
+     * the job runs inline here; overlap is impossible anyway and the
+     * operation order is equivalent (see sim/system.cc). Exactly one
+     * wait() must follow every dispatch().
+     */
+    void dispatch(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  Dispatch mode = Dispatch::Counter);
+
+    /**
+     * Complete a dispatch(): the caller joins as a lane (helping drain
+     * remaining indices), then blocks until every index finished.
+     * No-op when nothing is pending.
+     */
+    void wait();
 
   private:
     void workerLoop();
@@ -80,6 +119,9 @@ class WorkerPool
     std::condition_variable done_;
     const std::function<void(std::size_t)>* job_ = nullptr;
     std::size_t count_ = 0;
+    bool pending_ = false; ///< a dispatch() awaits its wait()
+    Dispatch mode_ = Dispatch::Counter;
+    std::unique_ptr<MpmcRing<std::size_t>> steal_; ///< Steal-mode tasks
     std::atomic<std::size_t> next_{0};
     std::atomic<std::uint64_t> generation_{0};
     std::atomic<int> active_{0};

@@ -11,6 +11,15 @@
  * consumer phases behind a barrier, but the ring is correct under true
  * concurrency as well (and is tested that way under ThreadSanitizer).
  *
+ * The *staged* producer view (pushStaged/syncProducer) exists for the
+ * pipelined engine, where producer and consumer phases genuinely
+ * overlap: pushStaged() admits against the consumer position last
+ * observed at syncProducer(), so whether a push reports "full" is a
+ * deterministic function of the barrier schedule and never of how far
+ * a concurrently-running consumer happened to get. When the phases
+ * alternate (the v1 engine and the serial tick path), a barrier
+ * precedes every producer phase and pushStaged() is exactly push().
+ *
  * FIFO order is the contract the engine's determinism proof leans on:
  * entries pop in exactly the order they were pushed.
  */
@@ -51,6 +60,32 @@ class SpscRing
         slots_[tail & mask_] = std::move(value);
         tail_.store(tail + 1, std::memory_order_release);
         return true;
+    }
+
+    /**
+     * Producer side, staged view: like push(), but admission tests
+     * against the consumer cursor captured by the last syncProducer()
+     * call instead of the live one — push-full results stay
+     * deterministic while a consumer drains concurrently. May report
+     * full when the live ring has space; never the reverse.
+     */
+    bool pushStaged(T&& value)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - staged_head_ >= slots_.size())
+            return false;
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Producer side: refresh the staged consumer view. Call only at a
+     * barrier (no consumer mid-pop); typically once per engine phase.
+     */
+    void syncProducer()
+    {
+        staged_head_ = head_.load(std::memory_order_acquire);
     }
 
     /** Consumer side: oldest entry, or nullptr when empty. */
@@ -100,6 +135,8 @@ class SpscRing
   private:
     std::vector<T> slots_;
     std::size_t mask_ = 0;
+    /** Producer-private copy of head_, refreshed by syncProducer(). */
+    std::size_t staged_head_ = 0;
     alignas(64) std::atomic<std::size_t> head_{0}; ///< consumer cursor
     alignas(64) std::atomic<std::size_t> tail_{0}; ///< producer cursor
 };

@@ -118,8 +118,10 @@ MemorySystem::submitRead(Addr addr, const dram::DecodedAddr& dec,
                          std::function<void(Cycle)> on_complete,
                          Cycle now)
 {
+    // Staged pushes keep full/not-full deterministic while the
+    // pipelined engine's shards drain these rings concurrently.
     bool ok = shard(dec.channel)
-                  .read_in->push(
+                  .read_in->pushStaged(
                       {addr, dec, source, now, std::move(on_complete)});
     QP_ASSERT(ok, "read mailbox overflow (MSHR file larger than the "
                   "mailbox capacity?)");
@@ -129,7 +131,17 @@ bool
 MemorySystem::submitWrite(Addr addr, const dram::DecodedAddr& dec,
                           int source, Cycle now)
 {
-    return shard(dec.channel).write_in->push({addr, dec, source, now, {}});
+    return shard(dec.channel)
+        .write_in->pushStaged({addr, dec, source, now, {}});
+}
+
+void
+MemorySystem::syncSubmitMailboxes()
+{
+    for (auto& s : shards_) {
+        s.read_in->syncProducer();
+        s.write_in->syncProducer();
+    }
 }
 
 void
@@ -192,16 +204,29 @@ MemorySystem::deliverCompletions(Cycle now)
 }
 
 void
-MemorySystem::runEpoch(Cycle begin, Cycle end, WorkerPool* pool)
+MemorySystem::runShard(int channel, Cycle begin, Cycle end,
+                       Cycle emit_guard)
+{
+    Shard& s = shard(channel);
+    s.epoch_end = emit_guard;
+    for (Cycle u = begin; u < end; ++u)
+        tickShard(s, u);
+}
+
+void
+MemorySystem::runEpoch(Cycle begin, Cycle end, WorkerPool* pool,
+                       Cycle emit_guard)
 {
     QP_ASSERT(end > begin, "empty epoch");
     QP_ASSERT(end - begin <= epoch_,
               "epoch longer than the completion lookahead");
+    // Alternating-phase callers push between runEpoch calls; syncing
+    // here (producer thread, shards quiescent) makes the staged submit
+    // view identical to the live head the v1 engine always saw.
+    syncSubmitMailboxes();
+    const Cycle guard = emit_guard ? emit_guard : end;
     auto task = [&](std::size_t i) {
-        Shard& s = shards_[i];
-        s.epoch_end = end;
-        for (Cycle u = begin; u < end; ++u)
-            tickShard(s, u);
+        runShard(static_cast<int>(i), begin, end, guard);
     };
     if (pool && pool->degree() > 1 && shards_.size() > 1)
         pool->run(shards_.size(), task);
@@ -214,7 +239,10 @@ void
 MemorySystem::tick(Cycle now)
 {
     // Serial compatibility path (direct drivers and tests): each tick
-    // is a one-cycle epoch with completions delivered inline.
+    // is a one-cycle epoch with completions delivered inline. Producer
+    // and consumer are the same thread here, so syncing every cycle
+    // makes the staged submit view identical to the live one.
+    syncSubmitMailboxes();
     deliverCompletions(now);
     for (auto& s : shards_) {
         s.epoch_end = now + 1;

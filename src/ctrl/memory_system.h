@@ -152,8 +152,31 @@ class MemorySystem
      * before each cycle and emitting completions to the outboxes.
      * With a pool of degree > 1 the shards run on the worker pool;
      * results are identical either way.
+     *
+     * @p emit_guard is the earliest cycle a completion emitted inside
+     * this window may fire at (0 = @p end, the v1 alternating-phase
+     * bound). The pipelined engine runs its main phase one window
+     * ahead of the shards and passes end + window so the overlap is
+     * assert-checked, not assumed.
      */
-    void runEpoch(Cycle begin, Cycle end, WorkerPool* pool);
+    void runEpoch(Cycle begin, Cycle end, WorkerPool* pool,
+                  Cycle emit_guard = 0);
+
+    /**
+     * Run one shard's tick loop over [begin, end) — the task body of
+     * runEpoch, exposed so the v2 engine can compose shard windows
+     * with core windows in a single (work-stealing) pool dispatch.
+     * Safe to call from any thread, one call per shard at a time.
+     */
+    void runShard(int channel, Cycle begin, Cycle end, Cycle emit_guard);
+
+    /**
+     * Refresh every shard's submit-mailbox staged producer view
+     * (common/spsc.h). The pipelined engine calls this at each window
+     * barrier (shard consumers quiescent) from the submitting thread;
+     * the serial tick() path syncs itself every cycle.
+     */
+    void syncSubmitMailboxes();
 
     /** Land buffered ACT notifications on every channel's mitigation. */
     void flushMitigationActs() const;

@@ -126,12 +126,14 @@ makeSystemConfig(const DesignSpec& design, const ExperimentConfig& cfg)
     sys.org.channels = cfg.channels;
     sys.org.ranks = cfg.ranks;
     sys.mapping = cfg.mapping;
-    // Shard-engine parallelism: the explicit per-run share, or a
-    // standalone run's full budget, clamped to the channel count.
-    int shard = cfg.shard_threads > 0
-                    ? cfg.shard_threads
-                    : std::min(cfg.channels, std::max(1, cfg.threads));
-    sys.threads = std::max(1, std::min(shard, cfg.channels));
+    // Engine thread budget: the explicit per-run share, or a standalone
+    // run's full budget. The System clamps it to the useful width for
+    // the resolved engine mode (enginePoolDegree), so handing over the
+    // whole budget never oversubscribes — with the pipelined main phase
+    // even a single-channel run can use a second thread.
+    sys.threads = std::max(1, cfg.shard_threads > 0 ? cfg.shard_threads
+                                                    : cfg.threads);
+    sys.engine = cfg.engine;
     return sys;
 }
 

@@ -105,6 +105,9 @@ struct ExperimentConfig
      * simulation results.
      */
     int shard_threads = 0;
+    /** Engine v2 switches (pipeline / steal / corepar); see
+     * sim/system.h. Autos resolve from the config, never the host. */
+    EngineOptions engine;
 
     /** QPRAC_INSTS env var, else 300000. */
     static std::uint64_t defaultInstsPerCore();

@@ -79,7 +79,8 @@ ScenarioConfig::keys()
         "nbo",      "nmit",       "recovery", "channels",
         "ranks",    "mapping",    "insts",    "cores",
         "seed",     "llc_mb",     "threads",  "baseline",
-        "r1",       "attack_cycles",
+        "r1",       "attack_cycles", "pipeline", "steal",
+        "corepar",
     };
     return k;
 }
@@ -230,6 +231,15 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
         attack_cycles = v;
         return true;
     }
+    if (key == "pipeline")
+        return parseEngineToggle(value, &engine.pipeline) ||
+               fail("expected auto/on/off");
+    if (key == "steal")
+        return parseEngineToggle(value, &engine.steal) ||
+               fail("expected auto/on/off");
+    if (key == "corepar")
+        return parseEngineToggle(value, &engine.corepar) ||
+               fail("expected auto/on/off");
     if (err)
         *err = strCat("unknown config key '", key, "'");
     return false;
@@ -274,6 +284,12 @@ ScenarioConfig::get(const std::string& key) const
         return std::to_string(r1);
     if (key == "attack_cycles")
         return attack_cycles ? std::to_string(attack_cycles) : "default";
+    if (key == "pipeline")
+        return toString(engine.pipeline);
+    if (key == "steal")
+        return toString(engine.steal);
+    if (key == "corepar")
+        return toString(engine.corepar);
     fatal(strCat("ScenarioConfig::get: unknown key '", key, "'"));
 }
 
@@ -407,6 +423,7 @@ ScenarioConfig::experiment() const
         fatal(strCat("bad mapping scheme '", mapping, "'"));
     e.llc_mb = llc_mb ? llc_mb : ExperimentConfig::defaultLlcMb();
     e.seed = seed ? seed : ExperimentConfig::defaultSeed();
+    e.engine = engine;
     return e;
 }
 
@@ -1067,6 +1084,10 @@ runSweep(const ScenarioConfig& base, const SweepSpec& spec,
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        if (!results[i].result.is_attack && results[i].wall_ms > 0.0)
+            results[i].sim_cycles_per_sec =
+                static_cast<double>(results[i].result.sim.cycles) /
+                (results[i].wall_ms / 1000.0);
     });
     return results;
 }

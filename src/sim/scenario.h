@@ -95,6 +95,16 @@ struct ScenarioConfig
      */
     int threads = 0;
     bool baseline = false;    ///< also run the insecure baseline
+    /**
+     * Engine v2 switches (sim/system.h), each "auto" / "on" / "off".
+     * `pipeline` overlaps the serial LLC+core phase with the previous
+     * shard window (auto = on), `steal` selects work-stealing task
+     * dispatch (auto = on whenever a pool exists), `corepar` also
+     * threads the cores (auto = off; deterministic but not
+     * bit-identical to the serial core model under MSHR saturation).
+     * None of them changes results with the thread count.
+     */
+    EngineOptions engine;
 
     // --- attack-family knobs -------------------------------------------
     /** Wave/Feinting starting pool size (attack:wave r1). */
@@ -308,6 +318,13 @@ struct SweepPointResult
      * bench reads it to record speedups.
      */
     double wall_ms = 0.0;
+    /**
+     * Engine throughput for this point: simulated cycles / wall second
+     * (0 for attack points, which report no cycle count). Same
+     * machine-noise caveat as wall_ms — lives beside the result, never
+     * inside it.
+     */
+    double sim_cycles_per_sec = 0.0;
 };
 
 /**

@@ -29,7 +29,8 @@ const char* const kUsage =
     "in command-line order on top of --config FILE (an INI of\n"
     "key = value lines; keys: source mitigation backend psq_size nbo\n"
     "nmit recovery channels ranks mapping insts cores seed llc_mb\n"
-    "threads baseline r1 attack_cycles). Sources: workload:NAME,\n"
+    "threads baseline r1 attack_cycles pipeline steal corepar).\n"
+    "Sources: workload:NAME,\n"
     "trace:PATH, attack:NAME (--list-attacks shows each family's\n"
     "accepted keys). --recovery selects the ALERT_n blocking domain:\n"
     "channel-stall (QPRAC ABO), bank-isolated (PRACtical-style) or\n"
@@ -37,8 +38,10 @@ const char* const kUsage =
     "--sweep takes key=v1,v2 or key=lo:hi[:step] and runs the\n"
     "cross-product. --threads is the total budget, shared between\n"
     "sweep points and the per-channel shard engine; results are\n"
-    "bit-identical at every thread count. --json / --csv emit\n"
-    "structured results.\n";
+    "bit-identical at every thread count. pipeline/steal/corepar\n"
+    "(auto|on|off) select the engine v2 layers (pipelined main phase,\n"
+    "work-stealing dispatch, threaded cores; see sim/system.h).\n"
+    "--json / --csv emit structured results.\n";
 
 std::string
 listEverything()
@@ -269,6 +272,11 @@ sweepJson(const ScenarioConfig& base,
             w.key(key).value(value);
         w.endObject();
         w.key("result").raw(point.result.resultJson());
+        // Timing lives beside the result object, never inside it: the
+        // result document stays bit-identical across machines, thread
+        // counts and engine modes.
+        w.key("wall_ms").value(point.wall_ms);
+        w.key("sim_cycles_per_sec").value(point.sim_cycles_per_sec);
         w.endObject();
     }
     w.endArray();

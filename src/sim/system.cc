@@ -1,11 +1,61 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/json.h"
 #include "common/log.h"
+#include "common/parse.h"
 
 namespace qprac::sim {
+
+bool
+parseEngineToggle(const std::string& text, EngineToggle* out)
+{
+    const std::string t = trimmed(text);
+    if (t == "auto")
+        *out = EngineToggle::Auto;
+    else if (t == "on" || t == "true" || t == "1")
+        *out = EngineToggle::On;
+    else if (t == "off" || t == "false" || t == "0")
+        *out = EngineToggle::Off;
+    else
+        return false;
+    return true;
+}
+
+std::string
+toString(EngineToggle t)
+{
+    switch (t) {
+    case EngineToggle::Auto:
+        return "auto";
+    case EngineToggle::On:
+        return "on";
+    case EngineToggle::Off:
+        return "off";
+    }
+    return "auto";
+}
+
+int
+enginePoolDegree(int threads, int channels, bool pipeline, bool corepar,
+                 int cores)
+{
+    threads = std::max(1, threads);
+    // The useful parallel width: one lane per shard, plus one per core
+    // in corepar mode, plus the caller lane when the main phase runs
+    // concurrently (pipeline) — capped by the thread budget, so a run
+    // never keeps more than `threads` threads busy.
+    int width;
+    if (corepar)
+        width = channels + cores;
+    else if (pipeline)
+        width = channels + 1;
+    else
+        width = channels;
+    return std::max(1, std::min(threads, width));
+}
 
 System::System(const SystemConfig& config, MitigationFactory mitigation,
                std::vector<std::unique_ptr<cpu::TraceSource>> traces)
@@ -18,9 +68,46 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
     memory_ = std::make_unique<ctrl::MemorySystem>(
         cfg_.org, cfg_.timing, cfg_.ctrl, mitigation, cfg_.blast_radius);
     llc_ = std::make_unique<cpu::SharedLlc>(cfg_.llc, *memory_, mapper_);
-    const int degree = std::min(cfg_.threads, cfg_.org.channels);
+
+    // Resolve the engine v2 switches. Every `auto` resolves from the
+    // config alone (never the host), so results are machine-portable.
+    const Cycle lookahead = memory_->epochLength();
+    const bool can_split = lookahead >= 2;
+    corepar_ = cfg_.engine.corepar == EngineToggle::On;
+    if (corepar_ && !can_split) {
+        warn("corepar=on needs a completion lookahead >= 2; running "
+             "the alternating engine");
+        corepar_ = false;
+    }
+    pipeline_ = !corepar_ &&
+                (cfg_.engine.pipeline == EngineToggle::On ||
+                 (cfg_.engine.pipeline == EngineToggle::Auto && can_split));
+    if (pipeline_ && !can_split) {
+        warn("pipeline=on needs a completion lookahead >= 2; running "
+             "the alternating engine");
+        pipeline_ = false;
+    }
+    // The pipelined window: half the lookahead, so everything a shard
+    // window emits lands beyond the main window running one step ahead.
+    // corepar additionally caps the window at the LLC hit latency so a
+    // hit completion issued in the replay of window k-1 is never due
+    // before window k begins.
+    step_ = lookahead;
+    if (corepar_)
+        step_ = std::max<Cycle>(
+            1, std::min<Cycle>(lookahead / 2,
+                               static_cast<Cycle>(cfg_.llc.hit_latency)));
+    else if (pipeline_)
+        step_ = std::max<Cycle>(1, lookahead / 2);
+
+    const int degree =
+        enginePoolDegree(cfg_.threads, cfg_.org.channels, pipeline_,
+                         corepar_, cfg_.num_cores);
     if (degree > 1)
         pool_ = std::make_unique<WorkerPool>(degree);
+    steal_ = cfg_.engine.steal == EngineToggle::On ||
+             (cfg_.engine.steal == EngineToggle::Auto && pool_ != nullptr);
+
     for (int i = 0; i < cfg_.num_cores; ++i)
         cores_.push_back(std::make_unique<cpu::O3Core>(
             i, cfg_.core, *traces_[static_cast<std::size_t>(i)], *llc_));
@@ -36,10 +123,10 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
     }
 }
 
-SimResult
-System::run()
+Cycle
+System::runAlternating()
 {
-    // Epoch-phased execution (see ctrl/memory_system.h). Each
+    // v1 epoch-phased execution (see ctrl/memory_system.h). Each
     // iteration runs the serial main phase over [start, epoch_end) —
     // completions due that cycle, then LLC, then cores, mailing new
     // requests — and then advances every shard over the same cycles,
@@ -49,6 +136,8 @@ System::run()
     // completion firing in this main phase was mailed by an earlier
     // shard phase (the epoch length is the completion lookahead).
     const Cycle epoch = memory_->epochLength();
+    const auto mode = steal_ ? WorkerPool::Dispatch::Steal
+                             : WorkerPool::Dispatch::Counter;
     Cycle cycle = 0;
     bool all_done = false;
     while (cycle < cfg_.max_cycles && !all_done) {
@@ -69,18 +158,198 @@ System::run()
                 break;
             }
         }
-        memory_->runEpoch(cycle, shard_end, pool_.get());
+        if (pool_ && pool_->degree() > 1 && memory_->channels() > 1) {
+            memory_->syncSubmitMailboxes();
+            const Cycle b = cycle, e = shard_end;
+            pool_->run(
+                static_cast<std::size_t>(memory_->channels()),
+                [this, b, e](std::size_t i) {
+                    memory_->runShard(static_cast<int>(i), b, e, e);
+                },
+                mode);
+        } else {
+            memory_->runEpoch(cycle, shard_end, nullptr);
+        }
         cycle = shard_end;
     }
     if (all_done)
         --cycle; // report the cycle the last core finished on
     else
         warn("simulation hit max_cycles before cores finished");
-    // Land any still-buffered ACT notifications before reading stats.
-    memory_->flushMitigationActs();
+    return cycle;
+}
 
+Cycle
+System::runPipelined()
+{
+    // Pipelined schedule: the serial main phase runs window k while
+    // the shards execute window k-1 on the pool. With the window set
+    // to half the completion lookahead, anything a shard emits while
+    // executing window k-1 fires at or after window k+1 — so the
+    // overlapped main phase never races a completion it could observe,
+    // and the operation order per domain is exactly the alternating
+    // schedule's. Submit mailboxes use the staged producer view
+    // (common/spsc.h), so admission decisions made while a shard
+    // drains concurrently stay deterministic.
+    const Cycle step = step_;
+    const auto mode = steal_ ? WorkerPool::Dispatch::Steal
+                             : WorkerPool::Dispatch::Counter;
+    const auto nshards = static_cast<std::size_t>(memory_->channels());
+    Cycle cycle = 0;
+    bool all_done = false;
+    Cycle prev_b = 0, prev_e = 0;
+    bool have_prev = false;
+    std::function<void(std::size_t)> shard_job;
+    while (cycle < cfg_.max_cycles && !all_done) {
+        const Cycle end = std::min(cycle + step, cfg_.max_cycles);
+        bool overlapped = false;
+        if (have_prev && pool_) {
+            const Cycle b = prev_b, e = prev_e;
+            shard_job = [this, b, e, step](std::size_t i) {
+                memory_->runShard(static_cast<int>(i), b, e, e + step);
+            };
+            pool_->dispatch(nshards, shard_job, mode);
+            overlapped = true;
+        }
+        Cycle main_end = end;
+        for (Cycle u = cycle; u < end; ++u) {
+            memory_->deliverCompletions(u);
+            llc_->tick(u);
+            all_done = true;
+            for (auto& core : cores_) {
+                core->tick(u);
+                all_done = all_done && core->done();
+            }
+            if (all_done) {
+                main_end = u + 1;
+                break;
+            }
+        }
+        if (overlapped)
+            pool_->wait();
+        else if (have_prev)
+            for (std::size_t i = 0; i < nshards; ++i)
+                memory_->runShard(static_cast<int>(i), prev_b, prev_e,
+                                  prev_e + step);
+        // Window barrier: shards are quiescent; refresh the staged
+        // submit views from the thread that produces into them.
+        memory_->syncSubmitMailboxes();
+        prev_b = cycle;
+        prev_e = main_end;
+        have_prev = true;
+        cycle = main_end;
+    }
+    // Drain the trailing shard window so memory state covers every
+    // cycle the main phase executed (the serial loop ticked memory
+    // through the finish cycle too).
+    if (have_prev)
+        for (std::size_t i = 0; i < nshards; ++i)
+            memory_->runShard(static_cast<int>(i), prev_b, prev_e,
+                              prev_e + step);
+    if (all_done)
+        --cycle;
+    else
+        warn("simulation hit max_cycles before cores finished");
+    return cycle;
+}
+
+Cycle
+System::runCorePar()
+{
+    // Threaded-core schedule: step k runs a serial phase S_k — replay
+    // core batches from window k-1 in canonical (cycle, core) order,
+    // then deliver fills and drain writebacks for window k — followed
+    // by a parallel phase where every core executes window k and every
+    // shard executes window k-1, all as pool tasks. Because the window
+    // is at most half the completion lookahead, fills needed by S_k
+    // were mailed two steps ago; because it is at most the LLC hit
+    // latency, hit completions issued in S_k are never already due.
+    // LLC state transitions happen serially in global cycle order
+    // (fills of cycle u before replayed accesses of cycle u, exactly
+    // the serial model's within-cycle order), so results are identical
+    // at every thread count.
+    llc_->setCompletionRouter(
+        [this](int core, Cycle due, std::function<void()> fn) {
+            cores_[static_cast<std::size_t>(core)]->postCompletion(
+                due, std::move(fn));
+        });
+    batches_.assign(cores_.size(), {});
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->setBatchSink(&batches_[i]);
+
+    const Cycle step = step_;
+    const auto mode = steal_ ? WorkerPool::Dispatch::Steal
+                             : WorkerPool::Dispatch::Counter;
+    const auto ncores = cores_.size();
+    const auto nshards = static_cast<std::size_t>(memory_->channels());
+    const Cycle no_clip = ~Cycle{0};
+    Cycle cycle = 0;
+    bool all_done = false;
+    Cycle prev_b = 0, prev_e = 0;
+    bool have_prev = false;
+    while (cycle < cfg_.max_cycles && !all_done) {
+        const Cycle end = std::min(cycle + step, cfg_.max_cycles);
+        // Serial phase S_k.
+        if (have_prev)
+            llc_->replayWindow(prev_b, prev_e, batches_, no_clip);
+        for (Cycle u = cycle; u < end; ++u) {
+            memory_->deliverCompletions(u);
+            llc_->tickBatched(u);
+        }
+        // Parallel phase: cores over [cycle, end), shards over the
+        // previous window (their submits were mailed in S_k).
+        const Cycle b = cycle, e = end, pb = prev_b, pe = prev_e;
+        const std::size_t tasks = ncores + (have_prev ? nshards : 0);
+        auto task = [this, b, e, pb, pe, step, ncores](std::size_t i) {
+            if (i < ncores)
+                cores_[i]->runWindow(b, e);
+            else
+                memory_->runShard(static_cast<int>(i - ncores), pb, pe,
+                                  pe + step);
+        };
+        if (pool_ && pool_->degree() > 1)
+            pool_->run(tasks, task, mode);
+        else
+            for (std::size_t i = 0; i < tasks; ++i)
+                task(i);
+        memory_->syncSubmitMailboxes();
+        all_done = true;
+        for (auto& core : cores_)
+            all_done = all_done && core->done();
+        prev_b = b;
+        prev_e = e;
+        have_prev = true;
+        cycle = end;
+    }
+    if (!all_done) {
+        if (have_prev) {
+            llc_->replayWindow(prev_b, prev_e, batches_, no_clip);
+            for (std::size_t i = 0; i < nshards; ++i)
+                memory_->runShard(static_cast<int>(i), prev_b, prev_e,
+                                  prev_e + step);
+        }
+        warn("simulation hit max_cycles before cores finished");
+        return cycle;
+    }
+    // The run ends at the master cycle the last core reached its
+    // target. Replay the final window clipped there and give the
+    // shards the same cycles the serial engine would have ticked.
+    Cycle finish = 0;
+    for (auto& core : cores_)
+        finish = std::max(finish, core->finishMasterCycle());
+    llc_->replayWindow(prev_b, std::min(prev_e, finish + 1), batches_,
+                       finish);
+    for (std::size_t i = 0; i < nshards; ++i)
+        memory_->runShard(static_cast<int>(i), prev_b, finish + 1,
+                          finish + 1 + step);
+    return finish;
+}
+
+SimResult
+System::collectResult(Cycle cycles) const
+{
     SimResult r;
-    r.cycles = cycle;
+    r.cycles = cycles;
     double total_insts = 0.0;
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         double ipc = cores_[i]->ipc();
@@ -94,20 +363,52 @@ System::run()
 
     r.acts = static_cast<double>(memory_->deviceStats().acts);
     r.rbmpki = total_insts > 0 ? r.acts / (total_insts / 1000.0) : 0.0;
-    double trefis = static_cast<double>(cycle) /
+    double trefis = static_cast<double>(cycles) /
                     static_cast<double>(cfg_.timing.tREFI);
     r.alerts_per_trefi =
         trefis > 0 ? static_cast<double>(memory_->alerts()) / trefis : 0.0;
-    r.stats.set("sim.cycles", static_cast<double>(cycle));
+    r.stats.set("sim.cycles", static_cast<double>(cycles));
     r.stats.set("sim.ipc_sum", r.ipc_sum);
     r.stats.set("sim.rbmpki", r.rbmpki);
     r.stats.set("sim.alerts_per_trefi", r.alerts_per_trefi);
     return r;
 }
 
+SimResult
+System::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+    Cycle cycles;
+    if (corepar_)
+        cycles = runCorePar();
+    else if (pipeline_)
+        cycles = runPipelined();
+    else
+        cycles = runAlternating();
+    // Land any still-buffered ACT notifications before reading stats.
+    memory_->flushMitigationActs();
+    SimResult r = collectResult(cycles);
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    return r;
+}
+
+double
+SimResult::simCyclesPerSec() const
+{
+    if (wall_ms <= 0.0)
+        return 0.0;
+    return static_cast<double>(cycles) / (wall_ms / 1000.0);
+}
+
 std::string
 SimResult::toJson() const
 {
+    // wall_ms / simCyclesPerSec() are deliberately absent: this
+    // document is compared bit-for-bit across thread counts and engine
+    // modes (tests/test_determinism.cc); timing lives beside it in
+    // SweepPointResult and the bench emitters.
     JsonWriter w;
     w.beginObject();
     w.key("cycles").value(static_cast<std::uint64_t>(cycles));

@@ -4,17 +4,36 @@
  * system (one controller + DRAM device + mitigation instance per
  * channel), advanced on a single master clock (the DRAM command clock).
  *
- * The run loop is the epoch engine's main phase: it alternates a
- * serial LLC+cores phase (delivering mailboxed completions, mailing
- * new requests) with a shard phase that advances every channel by up
- * to MemorySystem::epochLength() cycles — across a worker pool when
- * config.threads > 1. Thread count never changes results; see
+ * The run loop is the epoch engine's main phase. The v1 schedule
+ * alternates a serial LLC+cores phase (delivering mailboxed
+ * completions, mailing new requests) with a shard phase that advances
+ * every channel by up to MemorySystem::epochLength() cycles — across a
+ * worker pool when config.threads > 1.
+ *
+ * Engine v2 (EngineOptions) adds three layers on top:
+ *  - pipeline: halve the window to epochLength()/2 and run the serial
+ *    main phase over window k while the workers execute the shard
+ *    window k-1 — the lookahead bound then still holds with a full
+ *    window to spare, so CPU-side and DRAM-side simulation overlap
+ *    instead of alternating. Bit-identical to the v1 schedule.
+ *  - steal: hand shard/core tasks to the pool through a lock-free MPMC
+ *    ring (work stealing) instead of the static claim counter.
+ *    Result-neutral by construction.
+ *  - corepar: also run the cores in parallel, one task per core, with
+ *    core->LLC requests batched per window and replayed by the serial
+ *    phase in canonical (cycle, core) order. Deterministic at every
+ *    thread count, but opt-in: its no-dispatch-backpressure MSHR
+ *    handling (and cores ticking to their window end after finishing)
+ *    deviates from the serial model under MSHR saturation.
+ *
+ * Thread count never changes results in any mode; see
  * ctrl/memory_system.h for the determinism argument.
  */
 #ifndef QPRAC_SIM_SYSTEM_H
 #define QPRAC_SIM_SYSTEM_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
@@ -31,6 +50,47 @@ namespace qprac::sim {
  * channel's counters (invoked once per channel by the MemorySystem).
  */
 using MitigationFactory = ctrl::MitigationFactory;
+
+/** Tri-state switch for an engine v2 feature. */
+enum class EngineToggle
+{
+    Auto,
+    On,
+    Off,
+};
+
+/** Parse "auto" / "on" / "off" (also accepts true/false spellings). */
+bool parseEngineToggle(const std::string& text, EngineToggle* out);
+
+/** Canonical spelling of @p t. */
+std::string toString(EngineToggle t);
+
+/**
+ * Engine v2 feature switches (see the file comment). Every resolution
+ * of `auto` is a pure function of the config, never of the machine, so
+ * results stay reproducible across hosts.
+ */
+struct EngineOptions
+{
+    /** Pipelined main phase. Auto = on when the completion lookahead
+     * allows a two-window split (it does for every real timing). */
+    EngineToggle pipeline = EngineToggle::Auto;
+    /** Work-stealing task dispatch. Auto = on whenever a pool exists. */
+    EngineToggle steal = EngineToggle::Auto;
+    /** Threaded cores (batched replay). Auto = off: the mode is
+     * deterministic but not bit-identical to the serial core model. */
+    EngineToggle corepar = EngineToggle::Auto;
+};
+
+/**
+ * Worker-pool degree (caller + workers) the engine uses for a run.
+ * Never exceeds @p threads: the pipelined main phase runs on the
+ * caller lane, which rejoins the pool at the window barrier, so even
+ * with the overlap live a run keeps at most `threads` threads busy —
+ * the invariant sweep x engine nesting relies on (innerThreadBudget).
+ */
+int enginePoolDegree(int threads, int channels, bool pipeline,
+                     bool corepar, int cores);
 
 /** System-level configuration. */
 struct SystemConfig
@@ -50,6 +110,8 @@ struct SystemConfig
      * bit-identical at every value.
      */
     int threads = 1;
+    /** Engine v2 switches (pipeline / steal / corepar). */
+    EngineOptions engine;
 };
 
 /** Results of one simulation (aggregated across channels). */
@@ -62,6 +124,17 @@ struct SimResult
     double rbmpki = 0.0;          ///< ACTs per kilo-instruction
     double acts = 0.0;            ///< Σ ACTs over all channels
     StatSet stats; ///< aggregate keys plus chK.* copies when channels > 1
+    /**
+     * Wall-clock time of the run. Machine noise, so deliberately kept
+     * out of toJson()/stats: result documents are compared bit-for-bit
+     * across thread counts and engine modes. Benches and sweeps read
+     * it (and simCyclesPerSec()) for the throughput trajectory.
+     */
+    double wall_ms = 0.0;
+
+    /** Engine throughput: simulated cycles per wall second (0 when
+     * wall_ms was not recorded). Same caveat as wall_ms. */
+    double simCyclesPerSec() const;
 
     /**
      * Structured emission: one JSON object with the aggregate metrics
@@ -91,14 +164,34 @@ class System
 
     cpu::SharedLlc& llc() { return *llc_; }
 
+    /** Resolved engine state (for tests and introspection). */
+    bool pipelined() const { return pipeline_; }
+    bool stealing() const { return steal_; }
+    bool coreParallel() const { return corepar_; }
+    int poolDegree() const { return pool_ ? pool_->degree() : 1; }
+
   private:
+    /** v1 alternating schedule; returns the reported finish cycle. */
+    Cycle runAlternating();
+    /** Pipelined schedule (main phase one window ahead of shards). */
+    Cycle runPipelined();
+    /** Pipelined schedule with threaded cores (batched replay). */
+    Cycle runCorePar();
+    SimResult collectResult(Cycle cycles) const;
+
     SystemConfig cfg_;
     dram::AddressMapper mapper_;
     std::unique_ptr<ctrl::MemorySystem> memory_;
     std::unique_ptr<cpu::SharedLlc> llc_;
     std::vector<std::unique_ptr<cpu::TraceSource>> traces_;
     std::vector<std::unique_ptr<cpu::O3Core>> cores_;
-    std::unique_ptr<WorkerPool> pool_; ///< null when threads <= 1
+    std::unique_ptr<WorkerPool> pool_; ///< null when degree would be 1
+    bool pipeline_ = false; ///< resolved cfg_.engine.pipeline
+    bool steal_ = false;    ///< resolved cfg_.engine.steal
+    bool corepar_ = false;  ///< resolved cfg_.engine.corepar
+    Cycle step_ = 1; ///< pipelined/corepar window length
+    /** corepar: per-core request batches consumed by replayWindow. */
+    std::vector<std::vector<cpu::SharedLlc::CoreRequest>> batches_;
 };
 
 } // namespace qprac::sim

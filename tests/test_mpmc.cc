@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the lock-free bounded MPMC ring (common/mpmc.h) that backs
+ * WorkerPool's work-stealing dispatch: FIFO order single-threaded,
+ * full/empty edges, wraparound, and exactly-once delivery under true
+ * multi-producer multi-consumer concurrency (the TSan CI job runs
+ * these).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc.h"
+
+using namespace qprac;
+
+TEST(MpmcRing, FillDrainPreservesFifoOrder)
+{
+    MpmcRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(ring.push(int(i)));
+    EXPECT_EQ(ring.size(), 8u);
+    int v = -1;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(ring.pop(&v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.pop(&v));
+}
+
+TEST(MpmcRing, PushFailsOnlyWhenFullAndRecoversAfterPop)
+{
+    MpmcRing<int> ring(4);
+    ASSERT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.push(int(i)));
+    EXPECT_FALSE(ring.push(99));
+    int v = -1;
+    ASSERT_TRUE(ring.pop(&v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(ring.push(99));
+    std::vector<int> got;
+    while (ring.pop(&v))
+        got.push_back(v);
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 99}));
+}
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo)
+{
+    MpmcRing<int> ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+    MpmcRing<int> one(1);
+    EXPECT_EQ(one.capacity(), 1u);
+}
+
+TEST(MpmcRing, WrapsAroundManyTimes)
+{
+    MpmcRing<int> ring(4);
+    int expect = 0;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(ring.push(int(i)));
+        if (i % 3 == 0)
+            continue; // let occupancy oscillate across the wrap point
+        int v = -1;
+        ASSERT_TRUE(ring.pop(&v));
+        EXPECT_EQ(v, expect++);
+        if (ring.size() >= 3) {
+            ASSERT_TRUE(ring.pop(&v));
+            EXPECT_EQ(v, expect++);
+        }
+    }
+    int v = -1;
+    while (ring.pop(&v))
+        EXPECT_EQ(v, expect++);
+    EXPECT_EQ(expect, 1000);
+}
+
+namespace {
+
+/**
+ * @p producers threads push @p per_producer tagged values each while
+ * @p consumers threads drain; every value must arrive exactly once.
+ */
+void
+stress(int producers, int consumers, int per_producer)
+{
+    const int total = producers * per_producer;
+    MpmcRing<int> ring(64); // far smaller than total: constant pressure
+    std::vector<std::atomic<int>> seen(static_cast<std::size_t>(total));
+    for (auto& s : seen)
+        s = 0;
+    std::atomic<int> consumed{0};
+
+    std::vector<std::thread> threads;
+    for (int c = 0; c < consumers; ++c)
+        threads.emplace_back([&] {
+            int v = -1;
+            while (consumed.load(std::memory_order_relaxed) < total)
+                if (ring.pop(&v)) {
+                    seen[static_cast<std::size_t>(v)].fetch_add(1);
+                    consumed.fetch_add(1);
+                }
+        });
+    for (int p = 0; p < producers; ++p)
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < per_producer; ++i) {
+                int v = p * per_producer + i;
+                while (!ring.push(std::move(v)))
+                    std::this_thread::yield();
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+
+    ASSERT_EQ(consumed.load(), total);
+    for (const auto& s : seen)
+        ASSERT_EQ(s.load(), 1);
+}
+
+} // namespace
+
+TEST(MpmcRing, SingleProducerMultiConsumerStress)
+{
+    stress(1, 3, 60'000);
+}
+
+TEST(MpmcRing, MultiProducerSingleConsumerStress)
+{
+    stress(3, 1, 60'000);
+}
+
+TEST(MpmcRing, MultiProducerMultiConsumerStress)
+{
+    stress(4, 4, 50'000);
+}
+
+TEST(MpmcRing, PerProducerOrderIsPreserved)
+{
+    // A MPMC ring promises per-producer FIFO: values from one producer
+    // arrive in push order even with another producer interleaving.
+    MpmcRing<int> ring(128);
+    constexpr int kItems = 100'000;
+    std::vector<int> got;
+    got.reserve(2 * kItems);
+    std::thread consumer([&] {
+        int v = -1;
+        while (static_cast<int>(got.size()) < 2 * kItems)
+            if (ring.pop(&v))
+                got.push_back(v);
+    });
+    // Producer A pushes evens, producer B odds (from this thread and a
+    // helper); each stream must come out monotonically.
+    std::thread b([&] {
+        for (int i = 1; i < 2 * kItems; i += 2) {
+            int v = i;
+            while (!ring.push(std::move(v)))
+                std::this_thread::yield();
+        }
+    });
+    for (int i = 0; i < 2 * kItems; i += 2) {
+        int v = i;
+        while (!ring.push(std::move(v)))
+            std::this_thread::yield();
+    }
+    b.join();
+    consumer.join();
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(2 * kItems));
+    int last_even = -2, last_odd = -1;
+    for (int v : got) {
+        if (v % 2 == 0) {
+            ASSERT_GT(v, last_even);
+            last_even = v;
+        } else {
+            ASSERT_GT(v, last_odd);
+            last_odd = v;
+        }
+    }
+}

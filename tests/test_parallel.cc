@@ -92,6 +92,43 @@ TEST(SpscRing, WrapsAroundManyTimes)
     EXPECT_EQ(expect, 1000);
 }
 
+TEST(SpscRing, StagedPushIgnoresConcurrentConsumerProgress)
+{
+    // pushStaged admits against the consumer position captured at the
+    // last syncProducer(), not the live one — the property the
+    // pipelined engine's admission determinism rests on.
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.pushStaged(int(i)));
+    EXPECT_FALSE(ring.pushStaged(99)); // staged-full
+    int v = -1;
+    ASSERT_TRUE(ring.pop(&v)); // consumer frees a slot...
+    EXPECT_FALSE(ring.pushStaged(99)); // ...but the staged view holds
+    ring.syncProducer();
+    EXPECT_TRUE(ring.pushStaged(99)); // refreshed at the barrier
+    std::vector<int> got;
+    while (ring.pop(&v))
+        got.push_back(v);
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 99}));
+}
+
+TEST(SpscRing, StagedAndPlainPushInterleaveConsistently)
+{
+    // Both forms advance the same tail cursor, so a producer may mix
+    // them; only the admission test differs (live vs staged head).
+    SpscRing<int> ring(4);
+    ASSERT_TRUE(ring.pushStaged(0));
+    ASSERT_TRUE(ring.push(1)); // syncs, sees 2 slots left
+    ASSERT_TRUE(ring.pushStaged(2));
+    ASSERT_TRUE(ring.pushStaged(3));
+    EXPECT_FALSE(ring.pushStaged(99));
+    int v = -1;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.pop(&v));
+        EXPECT_EQ(v, i);
+    }
+}
+
 TEST(SpscRing, ConcurrentProducerConsumerKeepsOrder)
 {
     // True concurrency (the engine itself only needs phase-separated
@@ -198,4 +235,107 @@ TEST(WorkerPool, SumAcrossManyDispatches)
         want += 8 * round + 28;
     }
     EXPECT_EQ(sum.load(), want);
+}
+
+TEST(WorkerPool, StealModeCoversEveryIndexExactlyOnce)
+{
+    WorkerPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    for (int round = 0; round < 50; ++round) {
+        for (auto& h : hits)
+            h = 0;
+        pool.run(
+            hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+            WorkerPool::Dispatch::Steal);
+        for (const auto& h : hits)
+            ASSERT_EQ(h.load(), 1);
+    }
+}
+
+TEST(WorkerPool, StealModeGrowsTheRingAcrossDispatches)
+{
+    // The task ring is sized lazily; a later, wider dispatch must still
+    // cover everything (ring regrown, all indices enqueued).
+    WorkerPool pool(3);
+    for (std::size_t count : {4u, 16u, 256u, 7u, 1024u}) {
+        std::vector<std::atomic<int>> hits(count);
+        for (auto& h : hits)
+            h = 0;
+        pool.run(
+            count, [&](std::size_t i) { hits[i].fetch_add(1); },
+            WorkerPool::Dispatch::Steal);
+        for (const auto& h : hits)
+            ASSERT_EQ(h.load(), 1);
+    }
+}
+
+TEST(WorkerPool, StealAndCounterModesInterleave)
+{
+    WorkerPool pool(4);
+    std::atomic<long long> sum{0};
+    long long want = 0;
+    for (int round = 0; round < 100; ++round) {
+        const auto mode = round % 2 ? WorkerPool::Dispatch::Steal
+                                    : WorkerPool::Dispatch::Counter;
+        pool.run(
+            16,
+            [&](std::size_t i) {
+                sum.fetch_add(static_cast<long long>(i));
+            },
+            mode);
+        want += 120;
+    }
+    EXPECT_EQ(sum.load(), want);
+}
+
+TEST(WorkerPool, DispatchOverlapsCallerWorkUntilWait)
+{
+    // dispatch()/wait() is the pipelined engine's overlap primitive:
+    // workers chew on the tasks while the caller does its own work, and
+    // wait() is the full barrier (the caller helps drain).
+    WorkerPool pool(4);
+    std::vector<std::atomic<int>> hits(32);
+    // dispatch() borrows the function until wait() returns, so it must
+    // be a named object, not a temporary.
+    const std::function<void(std::size_t)> job = [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    };
+    for (int round = 0; round < 50; ++round) {
+        for (auto& h : hits)
+            h = 0;
+        std::atomic<int> caller_work{0};
+        pool.dispatch(hits.size(), job, WorkerPool::Dispatch::Steal);
+        // Caller-side work the barrier must not depend on.
+        for (int i = 0; i < 100; ++i)
+            caller_work.fetch_add(1);
+        pool.wait();
+        EXPECT_EQ(caller_work.load(), 100);
+        for (const auto& h : hits)
+            ASSERT_EQ(h.load(), 1);
+    }
+}
+
+TEST(WorkerPool, DispatchWithoutWorkersRunsInline)
+{
+    WorkerPool pool(1);
+    std::thread::id me = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(4);
+    pool.dispatch(ran.size(), [&](std::size_t i) {
+        ran[i] = std::this_thread::get_id();
+    });
+    pool.wait(); // no-op: degree-1 dispatch already completed inline
+    for (const auto& id : ran)
+        EXPECT_EQ(id, me);
+}
+
+TEST(WorkerPool, ZeroCountDispatchIsANoOp)
+{
+    WorkerPool pool(3);
+    int calls = 0;
+    pool.dispatch(0, [&](std::size_t) { ++calls; });
+    pool.wait();
+    EXPECT_EQ(calls, 0);
+    pool.run(0, [&](std::size_t) { ++calls; },
+             WorkerPool::Dispatch::Steal);
+    EXPECT_EQ(calls, 0);
 }
