@@ -32,11 +32,19 @@ using sim::SweepSpec;
 using bench::overrideValue;
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner("Ablation",
                   "channel scaling: QPRAC vs MOAT over 1/2/4 channels, "
                   "engine v1-vs-v2 scaling matrix at 4/8 channels");
+
+    // --cache-dir / QPRAC_CACHE_DIR: caches the baseline and main
+    // sweeps only. The engine-scaling matrix below must never be
+    // cached: its rows differ only in threads/pipeline/steal, which
+    // are result-neutral and so excluded from the scenario hash — all
+    // rows share one hash, and the point of the matrix is wall clock,
+    // which a cache hit falsifies.
+    sim::ResultCache cache(bench::cacheDirFromArgs(argc, argv));
 
     ScenarioConfig base = bench::loadBaseScenario(
         "../examples/scenarios/ablation_channels.ini",
@@ -63,7 +71,7 @@ main()
     if (!insecure.set("mitigation", "none", &set_err))
         fatal(strCat("bad baseline scenario: ", set_err));
     auto base_points = bench::runSweepAxes(
-        insecure, {"channels=1,2,4", "source=" + srcs});
+        insecure, {"channels=1,2,4", "source=" + srcs}, &cache);
     std::map<std::string, double> base_ipc; // "channels|source" -> IPC
     for (const auto& p : base_points)
         base_ipc[overrideValue(p, "channels") + "|" +
@@ -72,7 +80,8 @@ main()
     auto points = bench::runSweepAxes(
         base, {"channels=1,2,4",
                "mitigation=" + designs[0] + "," + designs[1],
-               "source=" + srcs});
+               "source=" + srcs},
+        &cache);
 
     auto norm_perf = [&](const SweepPointResult& p) {
         double b = base_ipc.at(overrideValue(p, "channels") + "|" +

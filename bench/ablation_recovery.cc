@@ -35,11 +35,15 @@ constexpr const char* kRecoveryAxis =
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner("Ablation",
                   "recovery policies: channel-stall vs bank/group "
                   "isolation — IPC and timing-channel leakage");
+
+    // --cache-dir / QPRAC_CACHE_DIR: reuse already-computed points so
+    // an interrupted or repeated figure run is (mostly) free.
+    sim::ResultCache cache(bench::cacheDirFromArgs(argc, argv));
 
     ScenarioConfig base = bench::loadBaseScenario(
         "../examples/scenarios/ablation_recovery.ini",
@@ -51,7 +55,8 @@ main()
          {"attack_cycles", "200000"}});
 
     // --- Performance: recovery x channels ------------------------------
-    auto perf = bench::runSweepAxes(base, {kRecoveryAxis, "channels=1,2"});
+    auto perf = bench::runSweepAxes(base, {kRecoveryAxis, "channels=1,2"},
+                                    &cache);
 
     // channel-stall reference IPC per channel count.
     std::map<std::string, double> stall_ipc;
@@ -91,7 +96,8 @@ main()
     std::string set_err;
     if (!probe.set("source", "attack:rfm-probe", &set_err))
         fatal(strCat("bad probe scenario: ", set_err));
-    auto leak = bench::runSweepAxes(probe, {kRecoveryAxis, "channels=2,4"});
+    auto leak = bench::runSweepAxes(probe, {kRecoveryAxis, "channels=2,4"},
+                                    &cache);
 
     bench::ResultSink leak_csv(
         "ablation_recovery_leakage",
@@ -124,7 +130,8 @@ main()
     ScenarioConfig dos = base;
     if (!dos.set("source", "attack:recovery-dos", &set_err))
         fatal(strCat("bad dos scenario: ", set_err));
-    auto storm = bench::runSweepAxes(dos, {kRecoveryAxis, "channels=1,2"});
+    auto storm = bench::runSweepAxes(dos, {kRecoveryAxis, "channels=1,2"},
+                                     &cache);
 
     bench::ResultSink dos_csv(
         "ablation_recovery_dos",
@@ -154,5 +161,10 @@ main()
         "which is exactly the \"Mitigations Backfire\" trade-off.\n",
         100.0 * max_ipc_gain, stall_leak["2"], stall_leak["4"],
         isolated_leak["2"], isolated_leak["4"]);
+    if (cache.enabled()) {
+        const auto c = cache.counters();
+        std::printf("cache: %zu hit, %zu stored; dir %s\n", c.hits,
+                    c.stored, cache.dir().c_str());
+    }
     return 0;
 }

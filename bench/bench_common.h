@@ -20,6 +20,7 @@
 #include "common/parse.h"
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/result_cache.h"
 #include "sim/scenario.h"
 #include "sim/workloads.h"
 
@@ -93,17 +94,39 @@ overrideValue(const sim::SweepPointResult& p, const std::string& key)
     return "";
 }
 
-/** Parse the axes, run the cross-product over @p base, die on errors. */
+/**
+ * The bench suite's result-cache directory: `--cache-dir PATH` on the
+ * bench's command line, else QPRAC_CACHE_DIR, else "" (caching off).
+ * Every bench that takes sweeps through runSweepAxes() below honours
+ * it, so an interrupted figure rerun only recomputes missing points.
+ */
+inline std::string
+cacheDirFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--cache-dir")
+            return argv[i + 1];
+    const char* env = std::getenv("QPRAC_CACHE_DIR");
+    return env ? env : "";
+}
+
+/** Parse the axes, run the cross-product over @p base, die on errors.
+ * With a non-null enabled @p cache, points already answered by a
+ * verified sidecar are reused byte-for-byte instead of re-simulated. */
 inline std::vector<sim::SweepPointResult>
 runSweepAxes(const sim::ScenarioConfig& base,
-             const std::vector<std::string>& axes)
+             const std::vector<std::string>& axes,
+             sim::ResultCache* cache = nullptr,
+             sim::SweepCounters* counters = nullptr)
 {
     sim::SweepSpec spec;
     std::string err;
     for (const auto& axis : axes)
         if (!spec.add(axis, &err))
             fatal(strCat("bad sweep axis: ", err));
-    auto points = sim::runSweep(base, spec, &err);
+    sim::SweepOptions options;
+    options.cache = cache && cache->enabled() ? cache : nullptr;
+    auto points = sim::runSweep(base, spec, options, &err, counters);
     if (points.empty())
         fatal(strCat("sweep failed: ", err));
     return points;

@@ -10,7 +10,10 @@
 #define QPRAC_COMMON_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace qprac {
 
@@ -61,6 +64,57 @@ class JsonWriter
  * Structural validation only — no data model is built.
  */
 bool jsonValid(const std::string& text);
+
+/**
+ * Minimal JSON document value, parsed by jsonParse(). Objects preserve
+ * key order (members is a vector, not a map), and numbers keep their
+ * raw source text so integer fields round-trip exactly even past
+ * double precision (asU64 reparses the text, it never goes through a
+ * double). Built for the result-cache sidecars and the isolated-sweep
+ * child protocol (sim/result_cache.h), where a cached result must
+ * re-serialize byte-identically to the fresh run that produced it.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool bool_value = false;
+    std::string text;   ///< string payload, or a number's raw text
+    std::vector<std::pair<std::string, JsonValue>> members; ///< objects
+    std::vector<JsonValue> items;                           ///< arrays
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Number as double (strtod over the raw text; 0 when not a number). */
+    double asDouble() const;
+
+    /** Number as u64 (strtoull over the raw text; 0 on sign/garbage). */
+    std::uint64_t asU64() const;
+};
+
+/**
+ * Parse one complete JSON value (with nothing trailing) into *out.
+ * False with a positioned *err message on malformed input. Accepts
+ * exactly the grammar jsonValid() accepts; string escapes are decoded
+ * (\uXXXX escapes outside ASCII are rejected — the emitter never
+ * produces them).
+ */
+bool jsonParse(const std::string& text, JsonValue* out, std::string* err);
 
 } // namespace qprac
 

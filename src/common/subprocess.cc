@@ -1,0 +1,186 @@
+#include "common/subprocess.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QPRAC_HAVE_SUBPROCESS 1
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace qprac {
+
+#ifdef QPRAC_HAVE_SUBPROCESS
+
+namespace {
+
+/** Drain both child pipes until EOF (poll-based so a child filling
+ * stderr while we wait on stdout can't deadlock the pipe buffers). */
+void
+drainPipes(int out_fd, int err_fd, std::string* out, std::string* err)
+{
+    struct Stream
+    {
+        int fd;
+        std::string* sink;
+        bool open;
+    };
+    Stream streams[2] = {{out_fd, out, true}, {err_fd, err, true}};
+    char buf[4096];
+    while (streams[0].open || streams[1].open) {
+        struct pollfd fds[2];
+        int n = 0;
+        for (const auto& s : streams)
+            if (s.open) {
+                fds[n].fd = s.fd;
+                fds[n].events = POLLIN;
+                fds[n].revents = 0;
+                ++n;
+            }
+        if (::poll(fds, static_cast<nfds_t>(n), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            for (auto& s : streams) {
+                if (!s.open || s.fd != fds[i].fd)
+                    continue;
+                ssize_t got = ::read(s.fd, buf, sizeof buf);
+                if (got > 0) {
+                    s.sink->append(buf, static_cast<std::size_t>(got));
+                } else if (got == 0 ||
+                           (got < 0 && errno != EINTR &&
+                            errno != EAGAIN)) {
+                    ::close(s.fd);
+                    s.open = false;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+SubprocessResult
+runCaptureStdout(const std::string& exe,
+                 const std::vector<std::string>& args)
+{
+    SubprocessResult res;
+    int out_pipe[2];
+    int err_pipe[2];
+    if (::pipe(out_pipe) != 0) {
+        res.spawn_error = std::strerror(errno);
+        return res;
+    }
+    if (::pipe(err_pipe) != 0) {
+        res.spawn_error = std::strerror(errno);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        return res;
+    }
+
+    // argv must outlive fork; build it before forking so the child's
+    // fork->exec window stays async-signal-safe (no allocation).
+    std::vector<std::string> argv_storage;
+    argv_storage.reserve(args.size() + 1);
+    argv_storage.push_back(exe);
+    for (const auto& a : args)
+        argv_storage.push_back(a);
+    std::vector<char*> argv;
+    argv.reserve(argv_storage.size() + 1);
+    for (auto& a : argv_storage)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        res.spawn_error = std::strerror(errno);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        ::close(err_pipe[0]);
+        ::close(err_pipe[1]);
+        return res;
+    }
+    if (pid == 0) {
+        // Child: wire the pipes to stdout/stderr and exec. Only
+        // async-signal-safe calls until execv/_exit.
+        ::dup2(out_pipe[1], STDOUT_FILENO);
+        ::dup2(err_pipe[1], STDERR_FILENO);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        ::close(err_pipe[0]);
+        ::close(err_pipe[1]);
+        ::execv(argv[0], argv.data());
+        // exec failed; report on the (redirected) stderr and bail with
+        // the shell's "cannot execute" status.
+        const char* msg = "exec failed: ";
+        ssize_t r = ::write(STDERR_FILENO, msg, std::strlen(msg));
+        r = ::write(STDERR_FILENO, argv[0], std::strlen(argv[0]));
+        r = ::write(STDERR_FILENO, "\n", 1);
+        (void)r;
+        ::_exit(126);
+    }
+
+    ::close(out_pipe[1]);
+    ::close(err_pipe[1]);
+    drainPipes(out_pipe[0], err_pipe[0], &res.out, &res.err);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) {
+            res.spawn_error = std::strerror(errno);
+            return res;
+        }
+    }
+    res.ran = true;
+    if (WIFEXITED(status))
+        res.exit_code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        res.exit_code = 128 + WTERMSIG(status);
+    else
+        res.exit_code = -1;
+    return res;
+}
+
+std::string
+selfExePath()
+{
+#ifdef __linux__
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+#else
+    return "";
+#endif
+}
+
+#else // !QPRAC_HAVE_SUBPROCESS
+
+SubprocessResult
+runCaptureStdout(const std::string& exe,
+                 const std::vector<std::string>& args)
+{
+    (void)exe;
+    (void)args;
+    SubprocessResult res;
+    res.spawn_error = "process isolation unsupported on this platform";
+    return res;
+}
+
+std::string
+selfExePath()
+{
+    return "";
+}
+
+#endif
+
+} // namespace qprac

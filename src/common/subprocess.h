@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal child-process runner for the isolated sweep mode
+ * (sim/scenario.h SweepOptions::isolate): fork/exec one qprac_sim per
+ * sweep point so a crashing config yields a recorded failure instead
+ * of taking down the whole grid.
+ *
+ * POSIX-only (fork + execv + pipes + waitpid); on other platforms
+ * runCaptureStdout() reports "unsupported" and isolation degrades to a
+ * sweep error instead of silently running in-process.
+ */
+#ifndef QPRAC_COMMON_SUBPROCESS_H
+#define QPRAC_COMMON_SUBPROCESS_H
+
+#include <string>
+#include <vector>
+
+namespace qprac {
+
+/** Result of one child-process run. */
+struct SubprocessResult
+{
+    /** True when the child was spawned and reaped (regardless of its
+     * exit status); false = the spawn itself failed or the platform
+     * has no process support. */
+    bool ran = false;
+    /** Child exit code; 128+signal when the child died on a signal
+     * (the shell convention, so a SIGSEGV reads as 139). */
+    int exit_code = -1;
+    std::string out; ///< everything the child wrote to stdout
+    std::string err; ///< everything the child wrote to stderr
+    std::string spawn_error; ///< why ran == false
+
+    bool ok() const { return ran && exit_code == 0; }
+};
+
+/**
+ * Run @p exe with @p args (argv[1..]; argv[0] is derived from exe),
+ * capturing stdout and stderr separately. Blocks until the child
+ * exits. The child inherits the parent's environment and working
+ * directory. Safe to call from worker threads: the window between
+ * fork and exec only performs async-signal-safe operations.
+ */
+SubprocessResult runCaptureStdout(const std::string& exe,
+                                  const std::vector<std::string>& args);
+
+/**
+ * Absolute path of the running executable (/proc/self/exe); "" when
+ * the platform can't say. Used to re-exec qprac_sim for isolated
+ * sweep points without guessing install locations.
+ */
+std::string selfExePath();
+
+} // namespace qprac
+
+#endif // QPRAC_COMMON_SUBPROCESS_H

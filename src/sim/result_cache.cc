@@ -1,0 +1,154 @@
+#include "sim/result_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "sim/scenario_hash.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace qprac::sim {
+
+namespace {
+
+int
+processId()
+{
+#ifndef _WIN32
+    return static_cast<int>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        warn(strCat("result cache: cannot create '", dir_,
+                    "': ", ec.message(), " (cache disabled)"));
+    if (ec)
+        dir_.clear();
+}
+
+std::string
+ResultCache::sidecarPath(const ScenarioConfig& cfg) const
+{
+    return strCat(dir_.empty() ? "." : dir_, "/", scenarioHashHex(cfg),
+                  ".json");
+}
+
+bool
+ResultCache::lookup(const ScenarioConfig& cfg, ScenarioResult* out)
+{
+    if (!enabled()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::ifstream in(sidecarPath(cfg));
+    if (!in) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    // Anything short of a fully-verified sidecar is a reject: the
+    // point recomputes and overwrites, the cache never guesses.
+    auto reject = [&] {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
+
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(text.str(), &doc, &err) || !doc.isObject())
+        return reject();
+    const JsonValue* format = doc.find("cache_format");
+    if (!format || !format->isNumber() ||
+        format->asU64() != static_cast<std::uint64_t>(kFormatVersion))
+        return reject();
+    const JsonValue* hash = doc.find("scenario_hash");
+    if (!hash || !hash->isString() || hash->text != scenarioHashHex(cfg))
+        return reject();
+    const JsonValue* key = doc.find("scenario_key");
+    if (!key || !key->isString() ||
+        key->text != scenarioCanonicalKey(cfg))
+        return reject();
+    const JsonValue* result = doc.find("result");
+    if (!result ||
+        !ScenarioResult::fromResultJson(*result, cfg, out, &err))
+        return reject();
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ResultCache::store(const ScenarioConfig& cfg, const ScenarioResult& res)
+{
+    if (!enabled())
+        return false;
+    JsonWriter w;
+    w.beginObject();
+    w.key("cache_format").value(kFormatVersion);
+    w.key("scenario_hash").value(scenarioHashHex(cfg));
+    w.key("scenario_key").value(scenarioCanonicalKey(cfg));
+    w.key("result").raw(res.resultJson());
+    w.endObject();
+
+    // Unique tmp name per (process, store): concurrent workers racing
+    // on the same point each write their own tmp and rename over the
+    // final path — rename is atomic, both payloads are identical bytes
+    // (determinism), so the winner is irrelevant and a reader never
+    // sees a partial file.
+    const std::string final_path = sidecarPath(cfg);
+    const std::string tmp_path = strCat(
+        final_path, ".tmp.", processId(), ".",
+        tmp_seq_.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(tmp_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << w.str() << "\n";
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            std::filesystem::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp_path, ec);
+        return false;
+    }
+    stored_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.rejected = rejected_.load(std::memory_order_relaxed);
+    c.stored = stored_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace qprac::sim

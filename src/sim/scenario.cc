@@ -13,9 +13,12 @@
 #include "common/json.h"
 #include "common/log.h"
 #include "common/parse.h"
+#include "common/subprocess.h"
 #include "core/service_queue.h"
 #include "dram/address.h"
 #include "mitigations/factory.h"
+#include "sim/result_cache.h"
+#include "sim/scenario_hash.h"
 #include "sim/system.h"
 #include "sim/workloads.h"
 
@@ -524,6 +527,65 @@ ScenarioResult::toJson() const
     w.key("result").raw(resultJson());
     w.endObject();
     return w.str();
+}
+
+bool
+ScenarioResult::fromResultJson(const JsonValue& doc,
+                               const ScenarioConfig& cfg,
+                               ScenarioResult* out, std::string* err)
+{
+    auto fail = [&](const std::string& why) {
+        if (err)
+            *err = strCat("result document: ", why);
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("not an object");
+    ScenarioResult res;
+    res.config = cfg;
+
+    const JsonValue* kind = doc.find("kind");
+    if (!kind || !kind->isString() ||
+        (kind->text != "attack" && kind->text != "system"))
+        return fail("missing or unknown kind");
+    res.is_attack = kind->text == "attack";
+
+    const JsonValue* cycles = doc.find("cycles");
+    const JsonValue* ipc = doc.find("ipc_sum");
+    const JsonValue* rbmpki = doc.find("rbmpki");
+    const JsonValue* alerts = doc.find("alerts_per_trefi");
+    const JsonValue* acts = doc.find("acts");
+    if (!cycles || !cycles->isNumber() || !ipc || !ipc->isNumber() ||
+        !rbmpki || !rbmpki->isNumber() || !alerts ||
+        !alerts->isNumber() || !acts || !acts->isNumber())
+        return fail("missing aggregate metrics");
+    res.sim.cycles = cycles->asU64();
+    res.sim.ipc_sum = ipc->asDouble();
+    res.sim.rbmpki = rbmpki->asDouble();
+    res.sim.alerts_per_trefi = alerts->asDouble();
+    res.sim.acts = acts->asDouble();
+
+    if (const JsonValue* np = doc.find("norm_perf")) {
+        if (!np->isNumber())
+            return fail("norm_perf is not a number");
+        res.has_baseline = true;
+        res.norm_perf = np->asDouble();
+    }
+
+    const JsonValue* stats = doc.find("stats");
+    if (!stats || !stats->isObject())
+        return fail("missing stats object");
+    for (const auto& [name, value] : stats->members) {
+        if (!value.isNumber())
+            return fail(strCat("stat '", name, "' is not a number"));
+        res.stats.set(name, value.asDouble());
+    }
+    // System runs emit res.stats = sim.stats, so the legacy report and
+    // --stats dump work from a reconstruction too.
+    if (!res.is_attack)
+        res.sim.stats = res.stats;
+    *out = std::move(res);
+    return true;
 }
 
 std::vector<std::string>
@@ -1045,27 +1107,127 @@ SweepSpec::enumerate() const
     return out;
 }
 
+namespace {
+
+/**
+ * Run one point in a fresh qprac_sim child process: every config key
+ * is handed over as a `--set` (the INI round-trip guarantees the
+ * canonical forms re-parse), the child's `--json` document comes back
+ * over a pipe, and its `result` object is reconstructed. Any child
+ * death — a fatal() config error, a crash, a kill — comes back as
+ * false with a one-line diagnosis instead of taking down the sweep.
+ */
+bool
+runIsolatedPoint(const ScenarioConfig& cfg, const std::string& exe,
+                 int inner_threads, ScenarioResult* out,
+                 std::string* err)
+{
+    std::vector<std::string> args;
+    for (const auto& key : ScenarioConfig::keys()) {
+        std::string value = cfg.get(key);
+        // The child gets this point's shard-thread share; the key is
+        // result-neutral by the determinism contract.
+        if (key == "threads")
+            value = std::to_string(inner_threads);
+        args.push_back("--set");
+        args.push_back(strCat(key, "=", value));
+    }
+    args.push_back("--json");
+
+    SubprocessResult r = runCaptureStdout(exe, args);
+    if (!r.ran) {
+        *err = strCat("point failed: spawn: ", r.spawn_error);
+        return false;
+    }
+    if (r.exit_code != 0) {
+        // Surface the child's first stderr line (fatal() prints one).
+        std::string detail = trimmed(r.err);
+        std::size_t nl = detail.find('\n');
+        if (nl != std::string::npos)
+            detail = detail.substr(0, nl);
+        *err = strCat("point failed: exit status ", r.exit_code,
+                      detail.empty() ? "" : strCat(": ", detail));
+        return false;
+    }
+    JsonValue doc;
+    std::string jerr;
+    if (!jsonParse(trimmed(r.out), &doc, &jerr)) {
+        *err = strCat("point failed: bad child JSON: ", jerr);
+        return false;
+    }
+    const JsonValue* result = doc.find("result");
+    if (!result) {
+        *err = "point failed: child JSON has no result object";
+        return false;
+    }
+    if (!ScenarioResult::fromResultJson(*result, cfg, out, err)) {
+        *err = strCat("point failed: ", *err);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
 std::vector<SweepPointResult>
 runSweep(const ScenarioConfig& base, const SweepSpec& spec,
          std::string* err)
 {
+    return runSweep(base, spec, SweepOptions{}, err, nullptr);
+}
+
+std::vector<SweepPointResult>
+runSweep(const ScenarioConfig& base, const SweepSpec& spec,
+         const SweepOptions& options, std::string* err,
+         SweepCounters* counters)
+{
     auto points = spec.enumerate();
 
-    // Materialize and validate every point's config up front so a bad
-    // override fails fast instead of mid-sweep.
-    std::vector<ScenarioConfig> configs;
-    configs.reserve(points.size());
-    for (const auto& overrides : points) {
-        ScenarioConfig cfg = base;
-        for (const auto& [key, value] : overrides)
-            if (!cfg.set(key, value, err))
-                return {};
-        if (!cfg.validate(err))
+    std::string exe = options.isolate_exe;
+    if (options.isolate && exe.empty()) {
+        exe = selfExePath();
+        if (exe.empty()) {
+            if (err)
+                *err = "process isolation unavailable: cannot resolve "
+                       "the running executable";
             return {};
-        configs.push_back(std::move(cfg));
+        }
     }
 
+    // Materialize and validate every point's config up front so a bad
+    // override fails fast instead of mid-sweep. Under isolation the
+    // contract flips: a bad point must not take down the grid, so it
+    // becomes a recorded failure and the rest still runs.
+    std::vector<ScenarioConfig> configs(points.size());
     std::vector<SweepPointResult> results(points.size());
+    std::vector<char> runnable(points.size(), 1);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        results[i].overrides = points[i];
+        ScenarioConfig cfg = base;
+        std::string point_err;
+        bool ok = true;
+        for (const auto& [key, value] : points[i])
+            if (!cfg.set(key, value, &point_err)) {
+                ok = false;
+                break;
+            }
+        if (ok && !cfg.validate(&point_err))
+            ok = false;
+        if (!ok) {
+            if (!options.isolate) {
+                if (err)
+                    *err = point_err;
+                return {};
+            }
+            results[i].failed = true;
+            results[i].error = strCat("point failed: ", point_err);
+            runnable[i] = 0;
+            continue;
+        }
+        configs[i] = std::move(cfg);
+        results[i].hash = scenarioHashHex(configs[i]);
+    }
+
     const int threads =
         base.threads ? base.threads : ExperimentConfig::defaultThreads();
     // Sweep x shard thread budgeting: the points fan out across the
@@ -1077,18 +1239,59 @@ runSweep(const ScenarioConfig& base, const SweepSpec& spec,
                               static_cast<std::size_t>(
                                   std::max(1, threads))));
     parallelFor(results.size(), threads, [&](std::size_t i) {
-        results[i].overrides = points[i];
+        if (!runnable[i])
+            return;
         const auto start = std::chrono::steady_clock::now();
-        results[i].result = runScenario(configs[i], inner);
-        results[i].wall_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
+        auto elapsedMs = [&] {
+            return std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
                 .count();
+        };
+        if (options.cache &&
+            options.cache->lookup(configs[i], &results[i].result)) {
+            // A hit reports the lookup cost, never the cached run's
+            // wall clock, and no engine throughput (nothing ran).
+            results[i].cached = true;
+            results[i].wall_ms = elapsedMs();
+            return;
+        }
+        if (options.isolate) {
+            std::string point_err;
+            if (!runIsolatedPoint(configs[i], exe, inner,
+                                  &results[i].result, &point_err)) {
+                results[i].failed = true;
+                results[i].error = std::move(point_err);
+                results[i].result = ScenarioResult{};
+                results[i].wall_ms = elapsedMs();
+                return;
+            }
+        } else {
+            results[i].result = runScenario(configs[i], inner);
+        }
+        results[i].wall_ms = elapsedMs();
         if (!results[i].result.is_attack && results[i].wall_ms > 0.0)
             results[i].sim_cycles_per_sec =
                 static_cast<double>(results[i].result.sim.cycles) /
                 (results[i].wall_ms / 1000.0);
+        if (options.cache)
+            options.cache->store(configs[i], results[i].result);
     });
+
+    if (counters) {
+        SweepCounters c;
+        c.points = results.size();
+        for (const auto& r : results) {
+            if (r.failed)
+                ++c.failed;
+            else if (r.cached)
+                ++c.hits;
+            else
+                ++c.computed;
+        }
+        if (options.cache)
+            c.stored = options.cache->counters().stored;
+        *counters = c;
+    }
     return results;
 }
 

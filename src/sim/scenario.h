@@ -33,7 +33,13 @@
 #include "cpu/trace.h"
 #include "sim/experiment.h"
 
+namespace qprac {
+struct JsonValue; // common/json.h
+}
+
 namespace qprac::sim {
+
+class ResultCache; // sim/result_cache.h
 
 /** What a scenario's `source` key names. */
 enum class SourceKind
@@ -186,6 +192,22 @@ struct ScenarioResult
     /** Just the "result" object (sweep documents embed many of them). */
     std::string resultJson() const;
 
+    /**
+     * Rebuild a ScenarioResult from a parsed resultJson() document
+     * (out->config is set to @p cfg). The inverse of resultJson() for
+     * everything that serialization carries: kind, the aggregate
+     * metrics, norm_perf presence and the stat set — re-serializing
+     * the reconstruction yields byte-identical resultJson() output
+     * (doubles survive the %.17g round trip exactly). Fields the
+     * document never carried (baseline_sim details, per-core IPC
+     * vectors, wall-clock timing) stay at their defaults. Used by the
+     * result cache and the isolated-sweep child protocol. False with
+     * *err on structurally-unexpected documents.
+     */
+    static bool fromResultJson(const JsonValue& doc,
+                               const ScenarioConfig& cfg,
+                               ScenarioResult* out, std::string* err);
+
     /** Column names for csvRow(). */
     static std::vector<std::string> csvHeader();
 
@@ -311,20 +333,72 @@ struct SweepPointResult
 {
     std::vector<std::pair<std::string, std::string>> overrides;
     ScenarioResult result;
+    /** Canonical content hash of the point's resolved config
+     * (sim/scenario_hash.h), 16 hex digits. */
+    std::string hash;
     /**
-     * Wall-clock time of this point's runScenario call. Deliberately
-     * kept out of the result stats: it is machine noise, and result
-     * documents stay bit-identical across thread counts. The scaling
-     * bench reads it to record speedups.
+     * Wall-clock time of this point. For a computed point that is the
+     * runScenario call; for a cache hit it is the (near-zero) lookup
+     * time — a cached point must never leak the original run's timing
+     * into throughput summaries. Deliberately kept out of the result
+     * stats: it is machine noise, and result documents stay
+     * bit-identical across thread counts. The scaling bench reads it
+     * to record speedups.
      */
     double wall_ms = 0.0;
     /**
      * Engine throughput for this point: simulated cycles / wall second
-     * (0 for attack points, which report no cycle count). Same
-     * machine-noise caveat as wall_ms — lives beside the result, never
-     * inside it.
+     * (0 for attack points, which report no cycle count, and for cache
+     * hits, where no simulation ran). Same machine-noise caveat as
+     * wall_ms — lives beside the result, never inside it.
      */
     double sim_cycles_per_sec = 0.0;
+    /** True when the result came from the cache, not a simulation. */
+    bool cached = false;
+    /** True when the point did not produce a result (isolated child
+     * crashed, or its config failed validation under isolation). The
+     * `result` field is default-constructed in that case. */
+    bool failed = false;
+    std::string error; ///< why failed is true
+};
+
+/**
+ * Batch-service options for runSweep (all default-off: the plain
+ * overload behaves exactly as before).
+ */
+struct SweepOptions
+{
+    /**
+     * Consult (and fill) this content-addressed cache per point:
+     * already-emitted points are skipped, so an interrupted grid
+     * rerun resumes where it died. Cached results are byte-identical
+     * to fresh runs (the hash excludes only result-neutral keys).
+     */
+    ResultCache* cache = nullptr;
+    /**
+     * Run every computed point in its own qprac_sim child process
+     * (fork/exec on the existing worker fan-out) so one crashing
+     * config yields a `failed` point entry instead of killing the
+     * grid. Also downgrades per-point validation errors to failed
+     * entries. Cache hits never spawn a child.
+     */
+    bool isolate = false;
+    /**
+     * Executable for isolated points; empty resolves to the running
+     * binary (/proc/self/exe). Must speak the qprac_sim CLI
+     * (`--set key=value ... --json`).
+     */
+    std::string isolate_exe;
+};
+
+/** What a batch sweep did, per point disposition. */
+struct SweepCounters
+{
+    std::size_t points = 0;
+    std::size_t hits = 0;     ///< served from cache
+    std::size_t computed = 0; ///< simulated (in-process or isolated)
+    std::size_t stored = 0;   ///< sidecars written
+    std::size_t failed = 0;   ///< failed point entries
 };
 
 /**
@@ -338,6 +412,19 @@ struct SweepPointResult
 std::vector<SweepPointResult> runSweep(const ScenarioConfig& base,
                                        const SweepSpec& spec,
                                        std::string* err);
+
+/**
+ * The batch-service form: result cache, resumable grids and per-point
+ * process isolation via @p options; per-point dispositions land in
+ * *counters when given. Without isolation an invalid override still
+ * fails the whole sweep up front (empty vector + *err); with it, bad
+ * points become `failed` entries and the grid completes.
+ */
+std::vector<SweepPointResult> runSweep(const ScenarioConfig& base,
+                                       const SweepSpec& spec,
+                                       const SweepOptions& options,
+                                       std::string* err,
+                                       SweepCounters* counters = nullptr);
 
 } // namespace qprac::sim
 

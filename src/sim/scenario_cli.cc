@@ -8,7 +8,9 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "mitigations/factory.h"
+#include "sim/result_cache.h"
 #include "sim/scenario.h"
+#include "sim/scenario_hash.h"
 #include "sim/workloads.h"
 
 namespace qprac::sim {
@@ -24,6 +26,8 @@ const char* const kUsage =
     "[--list] [--list-designs] [--list-attacks]\n"
     "                 [--config FILE] [--set key=value]... "
     "[--sweep key=values]... [--json] [--csv PATH]\n"
+    "                 [--cache-dir PATH] [--isolate] "
+    "[--hash | --dry-run]\n"
     "\n"
     "Every run is a scenario: legacy flags and --set overrides apply\n"
     "in command-line order on top of --config FILE (an INI of\n"
@@ -41,7 +45,14 @@ const char* const kUsage =
     "bit-identical at every thread count. pipeline/steal/corepar\n"
     "(auto|on|off) select the engine v2 layers (pipelined main phase,\n"
     "work-stealing dispatch, threaded cores; see sim/system.h).\n"
-    "--json / --csv emit structured results.\n";
+    "--json / --csv emit structured results.\n"
+    "--cache-dir keeps one content-addressed JSON sidecar per point\n"
+    "(named by the scenario hash, which excludes result-neutral keys:\n"
+    "threads/pipeline/steal); reruns and resumed grids reuse hits\n"
+    "byte-for-byte. --isolate forks one qprac_sim per sweep point so a\n"
+    "crashing config becomes a recorded failed point instead of killing\n"
+    "the grid. --hash (alias --dry-run) prints each resolved point's\n"
+    "hash and cache status without simulating.\n";
 
 std::string
 listEverything()
@@ -175,11 +186,21 @@ attackRunReport(const ScenarioResult& res)
 
 std::string
 sweepReport(const SweepSpec& spec,
-            const std::vector<SweepPointResult>& results)
+            const std::vector<SweepPointResult>& results,
+            const ResultCache* cache, const SweepCounters& counters)
 {
     std::string out =
         strCat("=== qprac_sim sweep: ", results.size(), " point",
                results.size() == 1 ? "" : "s", " ===\n");
+
+    // The status column only appears when it can say something: a
+    // cache is wired up (hit vs run) or isolation recorded failures.
+    // Plain sweeps keep the historical table shape.
+    bool any_failed = false;
+    for (const auto& point : results)
+        any_failed = any_failed || point.failed;
+    const bool show_status =
+        (cache && cache->enabled()) || any_failed;
 
     // A sweep can mix kinds (e.g. source=429.mcf,attack:wave) and
     // attack families with different counters, so the columns are the
@@ -190,6 +211,8 @@ sweepReport(const SweepSpec& spec,
     bool any_baseline = false;
     std::vector<std::string> attack_stats; // union, first-seen order
     for (const auto& point : results) {
+        if (point.failed)
+            continue;
         const ScenarioResult& r = point.result;
         if (r.is_attack) {
             any_attack = true;
@@ -218,6 +241,8 @@ sweepReport(const SweepSpec& spec,
             header.push_back("norm perf");
     }
     header.insert(header.end(), attack_stats.begin(), attack_stats.end());
+    if (show_status)
+        header.push_back("status");
 
     Table t(header);
     for (const auto& point : results) {
@@ -225,6 +250,16 @@ sweepReport(const SweepSpec& spec,
         for (const auto& [key, value] : point.overrides) {
             (void)key;
             row.push_back(value);
+        }
+        if (point.failed) {
+            if (mixed)
+                row.push_back("");
+            if (any_system)
+                row.insert(row.end(), any_baseline ? 5 : 4, "");
+            row.insert(row.end(), attack_stats.size(), "");
+            row.push_back("failed");
+            t.addRow(row);
+            continue;
         }
         const ScenarioResult& r = point.result;
         if (mixed)
@@ -248,15 +283,27 @@ sweepReport(const SweepSpec& spec,
             row.push_back(r.is_attack && r.stats.has(name)
                               ? statCell(r.stats.get(name))
                               : "");
+        if (show_status)
+            row.push_back(point.cached ? "hit" : "run");
         t.addRow(row);
     }
     out += t.toString();
+
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (results[i].failed)
+            out += strCat("point ", i, ": ", results[i].error, "\n");
+    if (cache && cache->enabled())
+        out += strCat("cache: ", counters.hits, " hit, ",
+                      counters.computed, " computed, ", counters.failed,
+                      " failed, ", cache->counters().rejected,
+                      " rejected sidecar(s); dir ", cache->dir(), "\n");
     return out;
 }
 
 std::string
 sweepJson(const ScenarioConfig& base,
-          const std::vector<SweepPointResult>& results)
+          const std::vector<SweepPointResult>& results,
+          const ResultCache* cache, const SweepCounters& counters)
 {
     JsonWriter w;
     w.beginObject();
@@ -271,17 +318,83 @@ sweepJson(const ScenarioConfig& base,
         for (const auto& [key, value] : point.overrides)
             w.key(key).value(value);
         w.endObject();
-        w.key("result").raw(point.result.resultJson());
+        if (!point.hash.empty())
+            w.key("hash").value(point.hash);
+        if (point.failed) {
+            // A failed isolated point has no result document at all —
+            // consumers key off "failed", not a sentinel result.
+            w.key("failed").value(true);
+            w.key("error").value(point.error);
+        } else {
+            w.key("result").raw(point.result.resultJson());
+            w.key("cached").value(point.cached);
+        }
         // Timing lives beside the result object, never inside it: the
         // result document stays bit-identical across machines, thread
-        // counts and engine modes.
+        // counts and engine modes. For a cache hit wall_ms is the
+        // lookup cost and sim_cycles_per_sec is 0 (nothing ran).
         w.key("wall_ms").value(point.wall_ms);
         w.key("sim_cycles_per_sec").value(point.sim_cycles_per_sec);
         w.endObject();
     }
     w.endArray();
+    if (cache && cache->enabled()) {
+        const ResultCache::Counters cc = cache->counters();
+        w.key("cache").beginObject();
+        w.key("dir").value(cache->dir());
+        w.key("points").value(static_cast<std::uint64_t>(counters.points));
+        w.key("hits").value(static_cast<std::uint64_t>(counters.hits));
+        w.key("computed")
+            .value(static_cast<std::uint64_t>(counters.computed));
+        w.key("failed").value(static_cast<std::uint64_t>(counters.failed));
+        w.key("stored").value(static_cast<std::uint64_t>(cc.stored));
+        w.key("rejected").value(static_cast<std::uint64_t>(cc.rejected));
+        w.endObject();
+    }
     w.endObject();
     return w.str();
+}
+
+/**
+ * The --hash / --dry-run view: every resolved point's canonical hash
+ * and, when a cache directory is wired up, whether a verified sidecar
+ * already answers it. No simulation runs.
+ */
+std::string
+hashReport(const SweepSpec& spec,
+           const std::vector<std::vector<
+               std::pair<std::string, std::string>>>& points,
+           const std::vector<ScenarioConfig>& configs,
+           ResultCache* cache)
+{
+    std::string out =
+        strCat("=== qprac_sim hash: ", configs.size(), " point",
+               configs.size() == 1 ? "" : "s", " ===\n");
+    std::vector<std::string> header;
+    for (const auto& axis : spec.axes)
+        header.push_back(axis.key);
+    header.push_back("hash");
+    header.push_back("cache");
+    Table t(header);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        std::vector<std::string> row;
+        for (const auto& [key, value] : points[i]) {
+            (void)key;
+            row.push_back(value);
+        }
+        row.push_back(scenarioHashHex(configs[i]));
+        std::string status = "-";
+        if (cache && cache->enabled()) {
+            ScenarioResult probe;
+            status = cache->lookup(configs[i], &probe) ? "hit" : "miss";
+        }
+        row.push_back(status);
+        t.addRow(row);
+    }
+    out += t.toString();
+    if (cache && cache->enabled())
+        out += strCat("cache dir: ", cache->dir(), "\n");
+    return out;
 }
 
 } // namespace
@@ -310,8 +423,11 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
     SweepSpec sweep;
     std::string config_path;
     std::string csv_path;
+    std::string cache_dir;
     bool dump_stats = false;
     bool json = false;
+    bool isolate = false;
+    bool hash_only = false;
 
     auto usageError = [&](const std::string& msg) {
         if (!msg.empty())
@@ -384,6 +500,14 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
             if (!need("--csv", &v))
                 return usageError("");
             csv_path = v;
+        } else if (arg == "--cache-dir") {
+            if (!need("--cache-dir", &v))
+                return usageError("");
+            cache_dir = v;
+        } else if (arg == "--isolate") {
+            isolate = true;
+        } else if (arg == "--hash" || arg == "--dry-run") {
+            hash_only = true;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--json") {
@@ -429,24 +553,66 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
     if (!cfg.validate(&cfg_err))
         return usageError(cfg_err);
 
+    ResultCache cache(cache_dir);
+    ResultCache* cache_ptr = cache.enabled() ? &cache : nullptr;
+
+    if (hash_only) {
+        // Resolve every point (the single run is a one-point grid with
+        // no axes) and report hash + cache status without simulating.
+        std::vector<std::vector<std::pair<std::string, std::string>>>
+            points;
+        if (sweep.axes.empty())
+            points.push_back({});
+        else
+            points = sweep.enumerate();
+        std::vector<ScenarioConfig> configs;
+        configs.reserve(points.size());
+        for (const auto& overrides : points) {
+            ScenarioConfig pc = cfg;
+            for (const auto& [key, value] : overrides)
+                if (!pc.set(key, value, &cfg_err))
+                    return usageError(cfg_err);
+            if (!pc.validate(&cfg_err))
+                return usageError(cfg_err);
+            configs.push_back(std::move(pc));
+        }
+        *out += hashReport(sweep, points, configs, cache_ptr);
+        return 0;
+    }
+
     if (!sweep.axes.empty()) {
         std::string sweep_err;
-        auto results = runSweep(cfg, sweep, &sweep_err);
+        SweepOptions options;
+        options.cache = cache_ptr;
+        options.isolate = isolate;
+        SweepCounters counters;
+        auto results =
+            runSweep(cfg, sweep, options, &sweep_err, &counters);
         if (results.empty() && !sweep_err.empty())
             return usageError(sweep_err);
         if (json)
-            *out += sweepJson(cfg, results) + "\n";
+            *out += sweepJson(cfg, results, cache_ptr, counters) + "\n";
         else
-            *out += sweepReport(sweep, results);
+            *out += sweepReport(sweep, results, cache_ptr, counters);
         if (!csv_path.empty()) {
             CsvWriter csv(csv_path, ScenarioResult::csvHeader());
             for (const auto& point : results)
-                csv.addRow(point.result.csvRow());
+                if (!point.failed)
+                    csv.addRow(point.result.csvRow());
         }
         return 0;
     }
 
-    ScenarioResult res = runScenario(cfg);
+    // Single runs consult the cache too, so `qprac_sim --config x.ini
+    // --cache-dir d` is free the second time. The report is derived
+    // purely from the (byte-identical) result document, so a hit
+    // reproduces the fresh run's output exactly.
+    ScenarioResult res;
+    if (!cache_ptr || !cache.lookup(cfg, &res)) {
+        res = runScenario(cfg);
+        if (cache_ptr)
+            cache.store(cfg, res);
+    }
     if (json)
         *out += res.toJson() + "\n";
     else if (res.is_attack)

@@ -1,0 +1,94 @@
+#include "sim/scenario_hash.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qprac::sim {
+
+namespace {
+
+/**
+ * Bumping this tag re-keys the whole cache; see the header contract.
+ * v1: all ScenarioConfig keys except threads/pipeline/steal, corepar
+ * normalized auto -> off.
+ */
+constexpr const char* kFormatTag = "qprac-scenario-v1";
+
+bool
+isExcluded(const std::string& key)
+{
+    const auto& excluded = scenarioHashExcludedKeys();
+    return std::find(excluded.begin(), excluded.end(), key) !=
+           excluded.end();
+}
+
+} // namespace
+
+const std::vector<std::string>&
+scenarioHashedKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> out;
+        for (const auto& key : ScenarioConfig::keys())
+            if (!isExcluded(key))
+                out.push_back(key);
+        return out;
+    }();
+    return keys;
+}
+
+const std::vector<std::string>&
+scenarioHashExcludedKeys()
+{
+    static const std::vector<std::string> keys = {"threads", "pipeline",
+                                                  "steal"};
+    return keys;
+}
+
+std::string
+scenarioCanonicalKey(const ScenarioConfig& cfg)
+{
+    std::string out = kFormatTag;
+    out += '\n';
+    for (const auto& key : scenarioHashedKeys()) {
+        std::string value = cfg.get(key);
+        // corepar=auto resolves to off (EngineOptions contract: autos
+        // are pure functions of the config); hash the resolved value
+        // so the spellings share one cache entry.
+        if (key == "corepar" && value == "auto")
+            value = "off";
+        out += key;
+        out += '=';
+        out += value;
+        out += '\n';
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a64(const std::string& bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+scenarioHash(const ScenarioConfig& cfg)
+{
+    return fnv1a64(scenarioCanonicalKey(cfg));
+}
+
+std::string
+scenarioHashHex(const ScenarioConfig& cfg)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(scenarioHash(cfg)));
+    return buf;
+}
+
+} // namespace qprac::sim

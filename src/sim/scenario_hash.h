@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Canonical content hashing for scenarios — the key of the
+ * content-addressed result cache (sim/result_cache.h).
+ *
+ * A scenario's hash is a 64-bit FNV-1a over its canonical key=value
+ * serialization (the same canonical forms the INI round-trip pins),
+ * restricted to the keys that can change simulation *results*:
+ *
+ *  - `threads`, `pipeline` and `steal` are excluded. The engine
+ *    guarantees (and the determinism suite pins) that thread counts
+ *    and the v1/v2 schedule choice are bit-identical, so a result
+ *    computed at threads=4 with the pipelined engine is the same
+ *    result at threads=1 on the alternating engine.
+ *  - `corepar` IS hashed, because the threaded-core model is
+ *    deterministic but not bit-identical to the serial core model
+ *    (MSHR-saturation handling diverges); its `auto` spelling is
+ *    normalized to the resolved default `off` so auto and off share
+ *    a cache entry.
+ *  - Timing observations (SweepPointResult::wall_ms /
+ *    sim_cycles_per_sec) are outputs, not config, and never reach the
+ *    hash or the cached result document.
+ *
+ * The serialization starts with a format tag, so any future change to
+ * the canonical form bumps every hash at once instead of silently
+ * aliasing old cache entries. Hash values are part of the on-disk
+ * cache contract and are pinned by golden tests
+ * (tests/test_scenario_hash.cc): do not change them casually.
+ */
+#ifndef QPRAC_SIM_SCENARIO_HASH_H
+#define QPRAC_SIM_SCENARIO_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace qprac::sim {
+
+/** ScenarioConfig::keys() minus the result-neutral engine keys. */
+const std::vector<std::string>& scenarioHashedKeys();
+
+/** The excluded keys (threads / pipeline / steal), for listings. */
+const std::vector<std::string>& scenarioHashExcludedKeys();
+
+/**
+ * The exact byte string the hash runs over: a format tag line followed
+ * by one `key=value` line per hashed key in canonical order. Stored
+ * verbatim in cache sidecars as the collision/staleness guard (two
+ * configs with equal hashes but different canonical keys never alias).
+ */
+std::string scenarioCanonicalKey(const ScenarioConfig& cfg);
+
+/** 64-bit FNV-1a of scenarioCanonicalKey(). */
+std::uint64_t scenarioHash(const ScenarioConfig& cfg);
+
+/** scenarioHash() as 16 lowercase hex digits (sidecar file stem). */
+std::string scenarioHashHex(const ScenarioConfig& cfg);
+
+/** FNV-1a 64 over raw bytes (exposed for tests). */
+std::uint64_t fnv1a64(const std::string& bytes);
+
+} // namespace qprac::sim
+
+#endif // QPRAC_SIM_SCENARIO_HASH_H

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "common/json.h"
@@ -321,4 +322,91 @@ TEST(QpracSimCli, ThreadsFlagRejectsGarbage)
     clearHarnessEnv();
     run({"--threads", "zippy"}, 2);
     run({"--threads", "-3"}, 2);
+}
+
+TEST(QpracSimCli, HashViewReportsPointsWithoutSimulating)
+{
+    clearHarnessEnv();
+    // --hash resolves and hashes; nothing runs, so even a huge insts
+    // value returns instantly.
+    std::string out = run({"--workload", "429.mcf", "--insts",
+                           "900000000", "--cores", "1", "--sweep",
+                           "nmit=1,2", "--hash"});
+    EXPECT_NE(out.find("=== qprac_sim hash: 2 points ==="),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("hash"), std::string::npos);
+    // Without --cache-dir the cache column is a dash.
+    EXPECT_NE(out.find("-"), std::string::npos);
+    // --dry-run is the same view.
+    EXPECT_EQ(out, run({"--workload", "429.mcf", "--insts", "900000000",
+                        "--cores", "1", "--sweep", "nmit=1,2",
+                        "--dry-run"}));
+}
+
+TEST(QpracSimCli, CacheDirMakesRerunsByteIdenticalAndHashesHit)
+{
+    clearHarnessEnv();
+    std::string dir = testing::TempDir() + "cli_cache";
+    std::filesystem::remove_all(dir);
+    std::vector<std::string> base = {"--workload", "429.mcf", "--insts",
+                                     "3000",       "--cores", "1",
+                                     "--cache-dir", dir};
+
+    // Single runs consult the cache: the warm report must reproduce
+    // the cold one byte for byte (it is derived from the cached result
+    // document alone).
+    auto with_stats = [&](std::vector<std::string> args) {
+        args.push_back("--stats");
+        return run(args);
+    };
+    std::string cold = with_stats(base);
+    std::string warm = with_stats(base);
+    EXPECT_EQ(cold, warm);
+
+    // And the hash view now reports a hit for the same scenario.
+    std::vector<std::string> hash_args = base;
+    hash_args.push_back("--hash");
+    std::string view = run(hash_args);
+    EXPECT_NE(view.find("hit"), std::string::npos) << view;
+    EXPECT_NE(view.find("cache dir: " + dir), std::string::npos) << view;
+}
+
+TEST(QpracSimCli, CachedSweepJsonMarksHitsAndCountsThem)
+{
+    clearHarnessEnv();
+    std::string dir = testing::TempDir() + "cli_sweep_cache";
+    std::filesystem::remove_all(dir);
+    std::vector<std::string> args = {"--workload", "429.mcf", "--insts",
+                                     "3000",       "--cores", "1",
+                                     "--sweep",    "nmit=1,2",
+                                     "--cache-dir", dir,     "--json"};
+    std::string cold = run(args);
+    EXPECT_TRUE(qprac::jsonValid(cold)) << cold;
+    EXPECT_NE(cold.find("\"cached\":false"), std::string::npos) << cold;
+    EXPECT_NE(cold.find("\"hits\":0"), std::string::npos) << cold;
+    EXPECT_NE(cold.find("\"computed\":2"), std::string::npos) << cold;
+
+    std::string warm = run(args);
+    EXPECT_TRUE(qprac::jsonValid(warm)) << warm;
+    EXPECT_NE(warm.find("\"cached\":true"), std::string::npos) << warm;
+    EXPECT_NE(warm.find("\"hits\":2"), std::string::npos) << warm;
+    EXPECT_NE(warm.find("\"computed\":0"), std::string::npos) << warm;
+
+    // The result documents themselves are byte-identical cold vs warm:
+    // everything that may differ (timing, cached flags, counters)
+    // lives outside the "result" objects.
+    auto results_only = [](const std::string& json) {
+        std::vector<std::string> docs;
+        for (std::size_t at = json.find("\"result\":");
+             at != std::string::npos;
+             at = json.find("\"result\":", at + 1)) {
+            std::size_t end = json.find(",\"cached\":", at);
+            EXPECT_NE(end, std::string::npos);
+            docs.push_back(json.substr(at, end - at));
+        }
+        return docs;
+    };
+    EXPECT_EQ(results_only(cold), results_only(warm));
+    EXPECT_EQ(results_only(cold).size(), 2u);
 }

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The scenario content hash (sim/scenario_hash.h) is an on-disk
+ * contract: sidecar files in every user's --cache-dir are named by it.
+ * These tests pin the exclusion semantics (result-neutral engine keys
+ * never move the hash, result-bearing keys always do) and the exact
+ * golden values, so an accidental change to the canonical form shows
+ * up here instead of as silently orphaned caches.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario_hash.h"
+
+using qprac::sim::ScenarioConfig;
+using qprac::sim::scenarioCanonicalKey;
+using qprac::sim::scenarioHash;
+using qprac::sim::scenarioHashedKeys;
+using qprac::sim::scenarioHashExcludedKeys;
+using qprac::sim::scenarioHashHex;
+
+namespace {
+
+ScenarioConfig
+withSets(const std::vector<std::pair<std::string, std::string>>& sets)
+{
+    ScenarioConfig cfg;
+    std::string err;
+    for (const auto& [key, value] : sets)
+        EXPECT_TRUE(cfg.set(key, value, &err)) << key << ": " << err;
+    return cfg;
+}
+
+TEST(ScenarioHash, HexFormat)
+{
+    const std::string hex = scenarioHashHex(ScenarioConfig{});
+    ASSERT_EQ(hex.size(), 16u);
+    for (char c : hex)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << hex;
+}
+
+TEST(ScenarioHash, Fnv1a64KnownVectors)
+{
+    // Published FNV-1a 64 test vectors.
+    EXPECT_EQ(qprac::sim::fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(qprac::sim::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(qprac::sim::fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ScenarioHash, HashedPlusExcludedCoversEveryKey)
+{
+    std::vector<std::string> all = scenarioHashedKeys();
+    for (const auto& key : scenarioHashExcludedKeys())
+        all.push_back(key);
+    std::vector<std::string> expected = ScenarioConfig::keys();
+    std::sort(all.begin(), all.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(all, expected);
+}
+
+TEST(ScenarioHash, ResultNeutralKeysNeverMoveTheHash)
+{
+    const ScenarioConfig base;
+    const std::uint64_t h = scenarioHash(base);
+    // threads / pipeline / steal are bit-identity-guaranteed by the
+    // determinism suite, so every combination shares one cache entry.
+    EXPECT_EQ(scenarioHash(withSets({{"threads", "4"}})), h);
+    EXPECT_EQ(scenarioHash(withSets({{"threads", "1"}})), h);
+    EXPECT_EQ(scenarioHash(withSets({{"pipeline", "on"}})), h);
+    EXPECT_EQ(scenarioHash(withSets({{"steal", "off"}})), h);
+    EXPECT_EQ(scenarioHash(withSets({{"threads", "8"},
+                                     {"pipeline", "off"},
+                                     {"steal", "on"}})),
+              h);
+    // ...and the canonical key never even mentions them.
+    const std::string key = scenarioCanonicalKey(base);
+    EXPECT_EQ(key.find("threads="), std::string::npos) << key;
+    EXPECT_EQ(key.find("pipeline="), std::string::npos) << key;
+    EXPECT_EQ(key.find("steal="), std::string::npos) << key;
+}
+
+TEST(ScenarioHash, CoreparIsHashedWithAutoNormalizedToOff)
+{
+    const std::uint64_t base = scenarioHash(ScenarioConfig{});
+    // corepar=on is deterministic but NOT bit-identical to the serial
+    // core model, so it must get its own cache entry...
+    EXPECT_NE(scenarioHash(withSets({{"corepar", "on"}})), base);
+    // ...while auto (which always resolves to off) aliases off.
+    EXPECT_EQ(scenarioHash(withSets({{"corepar", "auto"}})), base);
+    EXPECT_EQ(scenarioHash(withSets({{"corepar", "off"}})), base);
+}
+
+TEST(ScenarioHash, ResultBearingKeysEachMoveTheHash)
+{
+    const std::uint64_t base = scenarioHash(ScenarioConfig{});
+    const std::vector<std::pair<std::string, std::string>> changes = {
+        {"source", "workload:470.lbm"},
+        {"mitigation", "moat"},
+        {"backend", "heap"},
+        {"psq_size", "9"},
+        {"nbo", "16"},
+        {"nmit", "2"},
+        {"recovery", "bank-isolated"},
+        {"channels", "2"},
+        {"ranks", "1"},
+        {"mapping", "channel-striped"},
+        {"insts", "12345"},
+        {"cores", "3"},
+        {"seed", "7"},
+        {"llc_mb", "2"},
+        {"baseline", "true"},
+        {"r1", "1234"},
+        {"attack_cycles", "5000"},
+    };
+    for (const auto& change : changes)
+        EXPECT_NE(scenarioHash(withSets({change})), base)
+            << change.first << " did not move the hash";
+}
+
+TEST(ScenarioHash, CanonicalKeyShape)
+{
+    const std::string key = scenarioCanonicalKey(ScenarioConfig{});
+    EXPECT_EQ(key.rfind("qprac-scenario-v1\n", 0), 0u) << key;
+    for (const auto& hashed : scenarioHashedKeys())
+        EXPECT_NE(key.find("\n" + hashed + "="), std::string::npos)
+            << hashed << " missing from:\n" << key;
+}
+
+// The on-disk contract: these exact values name sidecar files in every
+// existing cache directory. If a change here is intentional, bump the
+// canonical format tag (qprac-scenario-v1) so old entries are orphaned
+// loudly, and re-pin.
+TEST(ScenarioHash, GoldenValues)
+{
+    EXPECT_EQ(scenarioHashHex(withSets({{"source", "workload:429.mcf"},
+                                        {"insts", "20000"},
+                                        {"cores", "1"},
+                                        {"nmit", "1"}})),
+              "79cee55c7dfaaef6");
+    EXPECT_EQ(scenarioHashHex(withSets({{"source", "workload:429.mcf"},
+                                        {"insts", "20000"},
+                                        {"cores", "1"},
+                                        {"nmit", "2"}})),
+              "cd40735f2630d8a7");
+}
+
+} // namespace

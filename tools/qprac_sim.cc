@@ -36,6 +36,15 @@
  *     --json               emit the structured JSON document
  *     --csv PATH           write structured CSV rows to PATH (the file
  *                          is rewritten each run)
+ *     --cache-dir PATH     content-addressed result cache: one JSON
+ *                          sidecar per point named by the scenario
+ *                          hash; hits are byte-identical to fresh runs
+ *                          and interrupted grids resume for free
+ *     --isolate            fork one qprac_sim per sweep point so a
+ *                          crashing config records a failed point
+ *                          instead of killing the grid
+ *     --hash | --dry-run   print each resolved point's canonical hash
+ *                          and cache status without simulating
  *     --list               list workloads, mitigations and attacks
  *     --list-designs       list registry designs with descriptions
  */
