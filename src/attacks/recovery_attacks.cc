@@ -29,7 +29,8 @@ class RecoveryDriver
     explicit RecoveryDriver(const RecoveryAttackConfig& cfg)
         : cfg_(cfg),
           mapper_(cfg.org, cfg.mapping),
-          mem_(cfg.org, cfg.timing, cfg.ctrl, cfg.mitigation)
+          mem_(cfg.org, cfg.timing, cfg.ctrl, cfg.mitigation, 2,
+             cfg.counter_update)
     {
         QP_ASSERT(cfg.attack_banks >= 1 &&
                       cfg.attack_banks <= cfg.org.banksPerRank(),

@@ -16,10 +16,7 @@ CoalescingQueue::CoalescingQueue(int capacity, int window)
 int
 CoalescingQueue::findStaged(int row) const
 {
-    for (std::size_t i = 0; i < window_.size(); ++i)
-        if (window_[i].row == row)
-            return static_cast<int>(i);
-    return -1;
+    return findStagedRow(window_, row);
 }
 
 void
@@ -27,11 +24,7 @@ CoalescingQueue::drain()
 {
     // Hottest first, so the window's best candidates get main-queue slots
     // before colder staged rows raise the queue minimum against them.
-    std::sort(window_.begin(), window_.end(),
-              [](const SqEntry& a, const SqEntry& b) {
-                  return a.count > b.count ||
-                         (a.count == b.count && a.row < b.row);
-              });
+    std::sort(window_.begin(), window_.end(), hotterFirst);
     for (const SqEntry& e : window_)
         main_.onActivate(e.row, e.count);
     window_.clear();

@@ -24,7 +24,8 @@ MemorySystem::MemorySystem(const dram::Organization& org,
                            const dram::TimingParams& timing,
                            const ControllerConfig& ctrl_config,
                            const MitigationFactory& mitigation,
-                           int blast_radius)
+                           int blast_radius,
+                           const dram::CounterUpdateConfig& counter_update)
     : org_(org)
 {
     QP_ASSERT(org.channels >= 1, "need at least one channel");
@@ -37,8 +38,8 @@ MemorySystem::MemorySystem(const dram::Organization& org,
     shards_.reserve(static_cast<std::size_t>(org.channels));
     for (int c = 0; c < org.channels; ++c) {
         Shard s;
-        s.device = std::make_unique<dram::DramDevice>(org, timing,
-                                                      blast_radius);
+        s.device = std::make_unique<dram::DramDevice>(
+            org, timing, blast_radius, counter_update);
         if (mitigation)
             s.mitigation = mitigation(&s.device->pracCounters());
         s.device->setMitigation(s.mitigation.get());
@@ -306,6 +307,15 @@ MemorySystem::deviceStats() const
     return total;
 }
 
+dram::CounterUpdateStats
+MemorySystem::counterUpdateStats() const
+{
+    dram::CounterUpdateStats total;
+    for (const auto& s : shards_)
+        total.add(s.device->counterUpdateStats());
+    return total;
+}
+
 CtrlStats
 MemorySystem::ctrlStats() const
 {
@@ -353,12 +363,23 @@ MemorySystem::exportStats(StatSet& out, const std::string& prefix) const
     ctrlStats().exportTo(out, prefix + "ctrl.");
     if (hasMitigation())
         mitigationStats().exportTo(out, prefix + "mit.");
+    // Counter write-back stats exist only off the critical path; the
+    // inline configuration's stat set stays byte-identical to pre-
+    // subarray output (part of the golden-pin contract).
+    const bool queued_updates =
+        !shards_.empty() &&
+        shards_.front().device->counterUpdateConfig().offCriticalPath();
+    if (queued_updates)
+        counterUpdateStats().exportTo(out, prefix + "dram.counter_update.");
     if (channels() > 1) {
         for (int c = 0; c < channels(); ++c) {
             const std::string ch = prefix + strCat("ch", c, ".");
             const Shard& s = shards_[static_cast<std::size_t>(c)];
             s.device->stats().exportTo(out, ch + "dram.");
             s.controller->stats().exportTo(out, ch + "ctrl.");
+            if (queued_updates)
+                s.device->counterUpdateStats().exportTo(
+                    out, ch + "dram.counter_update.");
             if (s.mitigation)
                 s.mitigation->stats().exportTo(out, ch + "mit.");
         }

@@ -89,7 +89,8 @@ class MemorySystem
     MemorySystem(const dram::Organization& org,
                  const dram::TimingParams& timing,
                  const ControllerConfig& ctrl_config,
-                 const MitigationFactory& mitigation, int blast_radius = 2);
+                 const MitigationFactory& mitigation, int blast_radius = 2,
+                 const dram::CounterUpdateConfig& counter_update = {});
 
     int channels() const { return static_cast<int>(shards_.size()); }
     const dram::Organization& organization() const { return org_; }
@@ -191,6 +192,8 @@ class MemorySystem
     // --- Cross-channel aggregation --------------------------------------
     dram::DeviceStats deviceStats() const;
     CtrlStats ctrlStats() const;
+    /** Summed counter write-back queue ledger (all channels). */
+    dram::CounterUpdateStats counterUpdateStats() const;
     /** Summed mitigation stats (zeros when no mitigation is attached). */
     dram::MitigationStats mitigationStats() const;
     bool hasMitigation() const;

@@ -88,6 +88,14 @@ Bank::doWrite(Cycle now)
 }
 
 void
+Bank::stallRowCycle(Cycle extra)
+{
+    QP_ASSERT(extra >= 0, "stall must be non-negative");
+    next_pre_ += extra;
+    next_act_ += extra;
+}
+
+void
 Bank::block(Cycle until)
 {
     QP_ASSERT(!isOpen(), "REF/RFM requires a precharged bank");

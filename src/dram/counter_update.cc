@@ -1,0 +1,174 @@
+#include "dram/counter_update.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace qprac::dram {
+
+const char*
+counterUpdateModeName(CounterUpdateMode mode)
+{
+    switch (mode) {
+      case CounterUpdateMode::Inline:
+        return "inline";
+      case CounterUpdateMode::Queued:
+        return "queued";
+      case CounterUpdateMode::Coalesced:
+        return "coalesced";
+    }
+    return "?";
+}
+
+bool
+parseCounterUpdateMode(const std::string& name, CounterUpdateMode* out)
+{
+    if (name == "inline")
+        *out = CounterUpdateMode::Inline;
+    else if (name == "queued")
+        *out = CounterUpdateMode::Queued;
+    else if (name == "coalesced")
+        *out = CounterUpdateMode::Coalesced;
+    else
+        return false;
+    return true;
+}
+
+void
+CounterUpdateStats::exportTo(StatSet& stats,
+                             const std::string& prefix) const
+{
+    stats.set(prefix + "enqueued", static_cast<double>(enqueued));
+    stats.set(prefix + "coalesced", static_cast<double>(coalesced));
+    stats.set(prefix + "drained_idle", static_cast<double>(drained_idle));
+    stats.set(prefix + "drained_act", static_cast<double>(drained_act));
+    stats.set(prefix + "drained_flush",
+              static_cast<double>(drained_flush));
+    stats.set(prefix + "stalls", static_cast<double>(stalls));
+    stats.set(prefix + "peak_occupancy",
+              static_cast<double>(peak_occupancy));
+    stats.set(prefix + "pending", static_cast<double>(pending));
+}
+
+void
+CounterUpdateStats::add(const CounterUpdateStats& other)
+{
+    enqueued += other.enqueued;
+    coalesced += other.coalesced;
+    drained_idle += other.drained_idle;
+    drained_act += other.drained_act;
+    drained_flush += other.drained_flush;
+    stalls += other.stalls;
+    peak_occupancy = std::max(peak_occupancy, other.peak_occupancy);
+    pending += other.pending;
+}
+
+CounterUpdateQueue::CounterUpdateQueue(const CounterUpdateConfig& cfg,
+                                       const SubarrayGeometry& geom,
+                                       Cycle drain_cycles)
+    : cfg_(cfg), geom_(geom), drain_cycles_(drain_cycles)
+{
+    QP_ASSERT(cfg.queue_depth >= 1,
+              "counter-update queue needs at least one entry");
+    pending_.reserve(static_cast<std::size_t>(cfg.queue_depth));
+    shadow_used_.resize(static_cast<std::size_t>(geom_.count()), 0);
+}
+
+void
+CounterUpdateQueue::retire(std::size_t index, std::uint64_t* sink)
+{
+    *sink += pending_[index].count;
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+}
+
+void
+CounterUpdateQueue::idleDrain(Cycle now)
+{
+    if (drain_cycles_ <= 0) {
+        // Counter-free base timing (ddr5NoPrac): the write-back is free.
+        for (const core::SqEntry& e : pending_)
+            stats_.drained_idle += e.count;
+        pending_.clear();
+        return;
+    }
+    // The serial port works the gap since the last command to this
+    // bank, oldest entry first.
+    Cycle avail_from = std::max(port_free_, last_cmd_);
+    while (!pending_.empty() && avail_from + drain_cycles_ <= now) {
+        avail_from += drain_cycles_;
+        retire(0, &stats_.drained_idle);
+    }
+    port_free_ = avail_from;
+}
+
+void
+CounterUpdateQueue::actShadowDrain(int act_subarray)
+{
+    // One retire slot per *other* subarray: their local counter tables
+    // are idle while this activation occupies act_subarray.
+    std::fill(shadow_used_.begin(), shadow_used_.end(), 0);
+    for (std::size_t i = 0; i < pending_.size();) {
+        const auto sa = static_cast<std::size_t>(
+            geom_.subarrayOf(pending_[i].row));
+        if (static_cast<int>(sa) != act_subarray && !shadow_used_[sa]) {
+            shadow_used_[sa] = 1;
+            retire(i, &stats_.drained_act);
+        } else {
+            ++i;
+        }
+    }
+}
+
+Cycle
+CounterUpdateQueue::onActivate(int row, Cycle now)
+{
+    idleDrain(now);
+    actShadowDrain(geom_.subarrayOf(row));
+    last_cmd_ = std::max(last_cmd_, now);
+
+    Cycle stall = 0;
+    const int merged = cfg_.mode == CounterUpdateMode::Coalesced
+                           ? core::findStagedRow(pending_, row)
+                           : -1;
+    if (merged >= 0) {
+        ++pending_[static_cast<std::size_t>(merged)].count;
+        ++stats_.enqueued;
+        ++stats_.coalesced;
+    } else if (occupancy() >= cfg_.queue_depth) {
+        // Queue full: the increment is never dropped — this ACT pays
+        // the inline RMW, stretching its own row cycle by the RMW cost.
+        ++stats_.stalls;
+        stall = drain_cycles_;
+        last_cmd_ += stall;
+    } else {
+        pending_.push_back({row, 1, next_seq_++});
+        ++stats_.enqueued;
+        stats_.peak_occupancy =
+            std::max(stats_.peak_occupancy,
+                     static_cast<std::uint64_t>(occupancy()));
+    }
+    return stall;
+}
+
+void
+CounterUpdateQueue::onFlush(Cycle until)
+{
+    for (const core::SqEntry& e : pending_)
+        stats_.drained_flush += e.count;
+    pending_.clear();
+    port_free_ = std::max(port_free_, until);
+    last_cmd_ = std::max(last_cmd_, until);
+}
+
+CounterUpdateStats
+CounterUpdateQueue::stats() const
+{
+    CounterUpdateStats out = stats_;
+    out.pending = 0;
+    for (const core::SqEntry& e : pending_)
+        out.pending += e.count;
+    return out;
+}
+
+} // namespace qprac::dram

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Off-critical-path PRAC counter updates (PRACtical, arXiv:2507.18581;
+ * coalescing idiom from CnC-PRAC, arXiv:2506.11970).
+ *
+ * Standard PRAC serializes the per-row activation-counter
+ * read-modify-write into every row cycle: tRP grows from 16 ns to
+ * 36 ns and tRAS shrinks to compensate, leaving tRC = 52 ns instead of
+ * the conventional 48 ns. This subsystem takes that RMW off the
+ * critical path: counter *state* still commits synchronously at ACT
+ * (mitigation decisions are bit-identical to inline PRAC), but the
+ * physical write-back is enqueued in a small per-bank queue and
+ * retired later, so banks run the conventional tRAS/tRP split.
+ *
+ * Write-backs retire through three channels, all evaluated lazily at
+ * the next command to the bank (no per-cycle device tick, so the
+ * threaded engine's determinism argument is untouched — every queue
+ * transition happens inside the owning shard at command time):
+ *
+ *  - idle drain: a serial per-bank port retires one entry per tDrain
+ *    cycles (tDrain = tRP_prac - tRP_base, the RMW cost) out of the
+ *    gap between consecutive bank commands;
+ *  - ACT-parallel drain: while an activation occupies one subarray,
+ *    every *other* subarray's local counter table is free, so one
+ *    pending entry per distinct other subarray retires in the shadow
+ *    of the ACT — more subarrays, more parallel retire slots;
+ *  - flush: REF / RFM own the whole bank long enough to retire
+ *    everything pending for it.
+ *
+ * A full queue never drops an increment: the ACT falls back to the
+ * inline RMW, paying tDrain extra on that bank's row cycle
+ * (counter_update.stalls counts these).
+ */
+#ifndef QPRAC_DRAM_COUNTER_UPDATE_H
+#define QPRAC_DRAM_COUNTER_UPDATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/service_queue.h"
+#include "dram/subarray.h"
+
+namespace qprac::dram {
+
+/** How ACT-driven counter increments reach the counter arrays. */
+enum class CounterUpdateMode
+{
+    Inline,    ///< paper-faithful PRAC: RMW inside every precharge
+    Queued,    ///< per-bank FIFO write-back queue, conventional tRC
+    Coalesced, ///< queued + same-row merge (CnC-PRAC-style window)
+};
+
+/** Short lowercase name ("inline", "queued", "coalesced"). */
+const char* counterUpdateModeName(CounterUpdateMode mode);
+
+/** Parse a mode name; returns false on unknown names. */
+bool parseCounterUpdateMode(const std::string& name,
+                            CounterUpdateMode* out);
+
+/** Subarray-level counter architecture knobs (scenario keys
+ * subarrays= / counter-update= / cuq_depth=). */
+struct CounterUpdateConfig
+{
+    CounterUpdateMode mode = CounterUpdateMode::Inline;
+    int subarrays = 64;    ///< subarrays per bank (power of two)
+    int queue_depth = 16;  ///< pending write-backs per bank
+
+    bool offCriticalPath() const
+    {
+        return mode != CounterUpdateMode::Inline;
+    }
+};
+
+/** Increment-conservation ledger for one (or a sum of) queue(s). */
+struct CounterUpdateStats
+{
+    std::uint64_t enqueued = 0;      ///< increments accepted into a queue
+    std::uint64_t coalesced = 0;     ///< subset of enqueued merged same-row
+    std::uint64_t drained_idle = 0;  ///< retired by the serial idle port
+    std::uint64_t drained_act = 0;   ///< retired in an ACT's subarray shadow
+    std::uint64_t drained_flush = 0; ///< retired under REF/RFM
+    std::uint64_t stalls = 0;        ///< queue full: inline RMW + bank stall
+    std::uint64_t peak_occupancy = 0;
+    std::uint64_t pending = 0;       ///< still queued at sample time
+
+    std::uint64_t retired() const
+    {
+        return drained_idle + drained_act + drained_flush;
+    }
+
+    void exportTo(StatSet& stats, const std::string& prefix) const;
+    void add(const CounterUpdateStats& other);
+};
+
+/**
+ * Per-bank counter write-back queue. Purely a timing/occupancy model:
+ * the functional counter commit happens in PracCounters at ACT.
+ */
+class CounterUpdateQueue
+{
+  public:
+    CounterUpdateQueue(const CounterUpdateConfig& cfg,
+                       const SubarrayGeometry& geom, Cycle drain_cycles);
+
+    /**
+     * Account one ACT to @p row at @p now: drain what the elapsed idle
+     * window and this activation's subarray shadow allow, then enqueue
+     * the new increment. Returns the extra cycles this bank's row
+     * cycle must stall (non-zero only on queue-full inline fallback).
+     */
+    Cycle onActivate(int row, Cycle now);
+
+    /** REF/RFM covering this bank until @p until: flush everything. */
+    void onFlush(Cycle until);
+
+    int occupancy() const { return static_cast<int>(pending_.size()); }
+
+    /** Stats with `pending` refreshed to the live occupancy sum. */
+    CounterUpdateStats stats() const;
+
+  private:
+    void idleDrain(Cycle now);
+    void actShadowDrain(int act_subarray);
+    void retire(std::size_t index, std::uint64_t* sink);
+
+    CounterUpdateConfig cfg_;
+    SubarrayGeometry geom_;
+    Cycle drain_cycles_;
+    std::vector<core::SqEntry> pending_; ///< FIFO; count = merged increments
+    std::vector<std::uint8_t> shadow_used_; ///< scratch: subarray used this ACT
+    Cycle port_free_ = 0;
+    Cycle last_cmd_ = 0;
+    std::uint64_t next_seq_ = 0;
+    CounterUpdateStats stats_;
+};
+
+} // namespace qprac::dram
+
+#endif // QPRAC_DRAM_COUNTER_UPDATE_H

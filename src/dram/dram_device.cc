@@ -28,11 +28,35 @@ DeviceStats::add(const DeviceStats& o)
     rfms += o.rfms;
 }
 
+namespace {
+
+/** The timing split banks run under the given counter-update mode. */
+TimingParams
+bankTimingFor(const TimingParams& t, const CounterUpdateConfig& cu)
+{
+    TimingParams bt = t;
+    if (cu.offCriticalPath() && t.tRAS_base > 0 && t.tRP_base > 0) {
+        // The counter RMW leaves the row cycle: revert to the
+        // conventional split (PRACtical); the RMW cost tRP - tRP_base
+        // is paid by the write-back queue instead.
+        bt.tRAS = t.tRAS_base;
+        bt.tRP = t.tRP_base;
+        bt.tRC = bt.tRAS + bt.tRP;
+    }
+    return bt;
+}
+
+} // namespace
+
 DramDevice::DramDevice(const Organization& org, const TimingParams& timing,
-                       int blast_radius)
+                       int blast_radius,
+                       const CounterUpdateConfig& counter_update)
     : org_(org.perChannel()),
       t_(timing),
-      counters_(org.banksPerChannel(), org.rows_per_bank, blast_radius)
+      bank_t_(bankTimingFor(timing, counter_update)),
+      cu_cfg_(counter_update),
+      counters_(org.banksPerChannel(), org.rows_per_bank, blast_radius,
+                counter_update.subarrays)
 {
     // One device is one channel: a multi-channel Organization is
     // normalized to its per-channel slice, and every flat_bank this
@@ -40,9 +64,16 @@ DramDevice::DramDevice(const Organization& org, const TimingParams& timing,
     const int total = org_.banksPerChannel();
     banks_.reserve(static_cast<std::size_t>(total));
     for (int i = 0; i < total; ++i)
-        banks_.emplace_back(t_);
+        banks_.emplace_back(bank_t_);
     for (int r = 0; r < org_.ranks; ++r)
         rank_timing_.emplace_back(t_);
+    if (cu_cfg_.offCriticalPath()) {
+        const Cycle drain =
+            static_cast<Cycle>(t_.tRP) - static_cast<Cycle>(bank_t_.tRP);
+        cuq_.reserve(static_cast<std::size_t>(total));
+        for (int i = 0; i < total; ++i)
+            cuq_.emplace_back(cu_cfg_, counters_.geometry(), drain);
+    }
     acts_per_bank_.assign(static_cast<std::size_t>(total), 0);
     bank_acts_at_service_.assign(static_cast<std::size_t>(total), 0);
     bank_alert_serviced_.assign(static_cast<std::size_t>(total), 0);
@@ -167,6 +198,18 @@ DramDevice::issueAct(int flat_bank, int row, Cycle now)
     // The PRAC counter update is synchronous (mitigations read counters
     // during RFM); only the mitigation notification is batched.
     ActCount count = counters_.onActivate(flat_bank, row);
+    if (!cuq_.empty()) {
+        // Off-critical-path mode: the *functional* commit above is
+        // unchanged (mitigation decisions stay bit-identical); the
+        // queue models the physical write-back the bank no longer pays
+        // inside its precharge. A full queue stretches this row cycle
+        // by the RMW cost — the inline fallback, never a drop.
+        const Cycle stall =
+            cuq_[static_cast<std::size_t>(flat_bank)].onActivate(row,
+                                                                 now);
+        if (stall > 0)
+            bank(flat_bank).stallRowCycle(stall);
+    }
     if (mitigation_) {
         act_batch_.push_back({flat_bank, row, count, now});
         batch_max_count_ = std::max(batch_max_count_, count);
@@ -215,6 +258,10 @@ DramDevice::issueRefresh(int rank, Cycle now)
     const Cycle until = now + t_.tRFC;
     for (int i = rank * per_rank; i < (rank + 1) * per_rank; ++i) {
         banks_[static_cast<std::size_t>(i)].block(until);
+        // REF owns the bank for tRFC — long enough to flush every
+        // pending counter write-back for free.
+        if (!cuq_.empty())
+            cuq_[static_cast<std::size_t>(i)].onFlush(until);
         // Proactive mitigation opportunity in the REF shadow (§III-D2).
         if (mitigation_)
             mitigation_->onRefresh(i, now);
@@ -250,11 +297,22 @@ DramDevice::issueRfm(RfmScope scope, int alert_bank, Cycle now)
         QP_ASSERT(banks_[static_cast<std::size_t>(i)].idleAt(now),
                   "RFM requires covered banks to be precharged");
         banks_[static_cast<std::size_t>(i)].block(until);
+        if (!cuq_.empty())
+            cuq_[static_cast<std::size_t>(i)].onFlush(until);
         if (mitigation_)
             mitigation_->onRfm(i, scope, i == alert_bank, now);
     }
     ++stats_.rfms;
     return until;
+}
+
+CounterUpdateStats
+DramDevice::counterUpdateStats() const
+{
+    CounterUpdateStats sum;
+    for (const CounterUpdateQueue& q : cuq_)
+        sum.add(q.stats());
+    return sum;
 }
 
 void

@@ -17,6 +17,7 @@
 #include "common/types.h"
 #include "dram/address.h"
 #include "dram/bank.h"
+#include "dram/counter_update.h"
 #include "dram/mitigation_iface.h"
 #include "dram/prac_counters.h"
 #include "dram/rank.h"
@@ -49,8 +50,18 @@ struct DeviceStats
 class DramDevice
 {
   public:
+    /**
+     * @param counter_update subarray-level counter architecture. With
+     *        the default inline mode banks run the PRAC tRAS/tRP split
+     *        and every ACT pays the counter RMW in its precharge —
+     *        bit-identical to the pre-subarray device. Queued/coalesced
+     *        modes revert banks to the conventional split
+     *        (tRAS_base/tRP_base) and route the RMWs through per-bank
+     *        CounterUpdateQueues.
+     */
     DramDevice(const Organization& org, const TimingParams& timing,
-               int blast_radius = 2);
+               int blast_radius = 2,
+               const CounterUpdateConfig& counter_update = {});
 
     /** Attach the in-DRAM mitigation (may be null = insecure baseline). */
     void setMitigation(RowhammerMitigation* mitigation);
@@ -60,8 +71,16 @@ class DramDevice
 
     const Organization& organization() const { return org_; }
     const TimingParams& timing() const { return t_; }
+    /** The split banks actually run (== timing() in inline mode). */
+    const TimingParams& bankTiming() const { return bank_t_; }
     PracCounters& pracCounters() { return counters_; }
     const PracCounters& pracCounters() const { return counters_; }
+    const CounterUpdateConfig& counterUpdateConfig() const
+    {
+        return cu_cfg_;
+    }
+    /** Summed per-bank write-back queue ledger (all-zero inline). */
+    CounterUpdateStats counterUpdateStats() const;
 
     /** Attached mitigation, with any pending ACT notifications flushed. */
     RowhammerMitigation*
@@ -166,9 +185,16 @@ class DramDevice
   private:
     Organization org_;
     TimingParams t_;
+    /** Bank-facing timing: t_ verbatim in inline mode, the
+     * conventional tRAS_base/tRP_base split otherwise. Banks hold a
+     * reference to this member. */
+    TimingParams bank_t_;
+    CounterUpdateConfig cu_cfg_;
     PracCounters counters_;
     std::vector<Bank> banks_;
     std::vector<RankTiming> rank_timing_;
+    /** Per-bank counter write-back queues (empty in inline mode). */
+    std::vector<CounterUpdateQueue> cuq_;
     RowhammerMitigation* mitigation_ = nullptr;
 
     /** ACT notifications not yet delivered to the mitigation. */

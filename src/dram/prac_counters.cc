@@ -6,54 +6,72 @@
 
 namespace qprac::dram {
 
-PracCounters::PracCounters(int num_banks, int rows_per_bank, int blast_radius)
+PracCounters::PracCounters(int num_banks, int rows_per_bank,
+                           int blast_radius, int subarrays_per_bank)
     : num_banks_(num_banks),
       rows_per_bank_(rows_per_bank),
       blast_radius_(blast_radius),
-      counters_(static_cast<std::size_t>(num_banks))
+      geom_(rows_per_bank, subarrays_per_bank),
+      tiles_(static_cast<std::size_t>(num_banks) *
+             static_cast<std::size_t>(geom_.count()))
 {
     QP_ASSERT(num_banks > 0 && rows_per_bank > 0 && blast_radius >= 0,
               "invalid PracCounters geometry");
-    for (auto& bank : counters_)
-        bank.assign(static_cast<std::size_t>(rows_per_bank), 0);
+    for (auto& t : tiles_)
+        t.assign(static_cast<std::size_t>(geom_.rowsPerSubarray()), 0);
 }
 
 std::vector<ActCount>&
-PracCounters::bankArray(int bank)
+PracCounters::tile(int bank, int subarray)
 {
     QP_ASSERT(bank >= 0 && bank < num_banks_, "bank out of range");
-    return counters_[static_cast<std::size_t>(bank)];
+    return tiles_[static_cast<std::size_t>(bank) *
+                      static_cast<std::size_t>(geom_.count()) +
+                  static_cast<std::size_t>(subarray)];
 }
 
 const std::vector<ActCount>&
-PracCounters::bankArray(int bank) const
+PracCounters::tile(int bank, int subarray) const
 {
     QP_ASSERT(bank >= 0 && bank < num_banks_, "bank out of range");
-    return counters_[static_cast<std::size_t>(bank)];
+    return tiles_[static_cast<std::size_t>(bank) *
+                      static_cast<std::size_t>(geom_.count()) +
+                  static_cast<std::size_t>(subarray)];
+}
+
+ActCount&
+PracCounters::cell(int bank, int row)
+{
+    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
+    return tile(bank, geom_.subarrayOf(row))[static_cast<std::size_t>(
+        row - geom_.firstRow(geom_.subarrayOf(row)))];
+}
+
+const ActCount&
+PracCounters::cell(int bank, int row) const
+{
+    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
+    return tile(bank, geom_.subarrayOf(row))[static_cast<std::size_t>(
+        row - geom_.firstRow(geom_.subarrayOf(row)))];
 }
 
 ActCount
 PracCounters::onActivate(int bank, int row)
 {
-    auto& arr = bankArray(bank);
-    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
     ++total_acts_;
-    return ++arr[static_cast<std::size_t>(row)];
+    return ++cell(bank, row);
 }
 
 ActCount
 PracCounters::count(int bank, int row) const
 {
-    const auto& arr = bankArray(bank);
-    QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
-    return arr[static_cast<std::size_t>(row)];
+    return cell(bank, row);
 }
 
 int
 PracCounters::mitigate(int bank, int row, VictimInfo* victims,
                        bool reset_aggressor)
 {
-    auto& arr = bankArray(bank);
     QP_ASSERT(row >= 0 && row < rows_per_bank_, "row out of range");
     int written = 0;
     for (int d = 1; d <= blast_radius_; ++d) {
@@ -63,7 +81,10 @@ PracCounters::mitigate(int bank, int row, VictimInfo* victims,
                 continue;
             // Mitigative refresh also increments the victim's PRAC
             // counter so transitive (Half-Double) attacks are tracked.
-            ActCount c = ++arr[static_cast<std::size_t>(victim)];
+            // Victims may fall in the neighboring subarray's tile when
+            // the aggressor sits at a tile boundary; cell() routes
+            // across tiles transparently.
+            ActCount c = ++cell(bank, victim);
             ++total_victims_;
             if (victims)
                 victims[written] = {victim, c};
@@ -71,7 +92,7 @@ PracCounters::mitigate(int bank, int row, VictimInfo* victims,
         }
     }
     if (reset_aggressor)
-        arr[static_cast<std::size_t>(row)] = 0;
+        cell(bank, row) = 0;
     ++total_mitigations_;
     return written;
 }
@@ -79,22 +100,42 @@ PracCounters::mitigate(int bank, int row, VictimInfo* victims,
 void
 PracCounters::reset(int bank, int row)
 {
-    bankArray(bank)[static_cast<std::size_t>(row)] = 0;
+    cell(bank, row) = 0;
 }
 
 ActCount
 PracCounters::maxCount(int bank) const
 {
-    const auto& arr = bankArray(bank);
-    return *std::max_element(arr.begin(), arr.end());
+    ActCount best = 0;
+    for (int sa = 0; sa < geom_.count(); ++sa)
+        best = std::max(best, maxCountInSubarray(bank, sa));
+    return best;
 }
 
 int
 PracCounters::maxRow(int bank) const
 {
-    const auto& arr = bankArray(bank);
-    return static_cast<int>(
-        std::max_element(arr.begin(), arr.end()) - arr.begin());
+    // First row with the maximum count, matching the pre-subarray
+    // whole-bank max_element scan exactly.
+    ActCount best = 0;
+    int best_row = 0;
+    for (int sa = 0; sa < geom_.count(); ++sa) {
+        const auto& t = tile(bank, sa);
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i] > best) {
+                best = t[i];
+                best_row = geom_.firstRow(sa) + static_cast<int>(i);
+            }
+        }
+    }
+    return best_row;
+}
+
+ActCount
+PracCounters::maxCountInSubarray(int bank, int subarray) const
+{
+    const auto& t = tile(bank, subarray);
+    return *std::max_element(t.begin(), t.end());
 }
 
 } // namespace qprac::dram

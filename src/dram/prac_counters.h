@@ -1,11 +1,19 @@
 /**
  * @file
- * PRAC per-row activation counters (paper §II-D).
+ * PRAC per-row activation counters (paper §II-D), stored per subarray.
  *
- * One counter per DRAM row per bank, incremented on every ACT of that row
- * and on every mitigative victim refresh (transitive / Half-Double
+ * One counter per DRAM row per bank, incremented on every ACT of that
+ * row and on every mitigative victim refresh (transitive / Half-Double
  * protection, paper §III-C2). Counters are reset when the row is
  * mitigated (the aggressor is re-activated and its counter cleared).
+ *
+ * Physically the counters live beside the rows they guard: each
+ * subarray owns the counter tile for its own row range (PRACtical,
+ * arXiv:2507.18581), which is what lets counter write-backs in one
+ * subarray overlap accesses in another (see dram/counter_update.h).
+ * The (bank, row) API is unchanged — the tiling is a storage layout,
+ * not a semantic change — so every configuration of `subarrays` is
+ * functionally bit-identical.
  */
 #ifndef QPRAC_DRAM_PRAC_COUNTERS_H
 #define QPRAC_DRAM_PRAC_COUNTERS_H
@@ -14,10 +22,11 @@
 #include <vector>
 
 #include "common/types.h"
+#include "dram/subarray.h"
 
 namespace qprac::dram {
 
-/** Per-bank array of PRAC counters plus mitigation bookkeeping. */
+/** Per-subarray tiles of PRAC counters plus mitigation bookkeeping. */
 class PracCounters
 {
   public:
@@ -26,8 +35,11 @@ class PracCounters
      * @param rows_per_bank rows per bank
      * @param blast_radius victim rows refreshed on each side of an
      *        aggressor during mitigation (paper default BR = 2)
+     * @param subarrays_per_bank counter tiles per bank (power of two;
+     *        1 = the monolithic per-bank array of the base paper)
      */
-    PracCounters(int num_banks, int rows_per_bank, int blast_radius = 2);
+    PracCounters(int num_banks, int rows_per_bank, int blast_radius = 2,
+                 int subarrays_per_bank = 1);
 
     /** Increment on ACT; returns the post-increment count. */
     ActCount onActivate(int bank, int row);
@@ -68,9 +80,13 @@ class PracCounters
     /** Row holding the highest counter value in a bank (scan). */
     int maxRow(int bank) const;
 
+    /** Highest counter value within one subarray's tile (scan). */
+    ActCount maxCountInSubarray(int bank, int subarray) const;
+
     int numBanks() const { return num_banks_; }
     int rowsPerBank() const { return rows_per_bank_; }
     int blastRadius() const { return blast_radius_; }
+    const SubarrayGeometry& geometry() const { return geom_; }
 
     /** Lifetime totals, for energy accounting and tests. */
     std::uint64_t totalActivations() const { return total_acts_; }
@@ -78,13 +94,17 @@ class PracCounters
     std::uint64_t totalVictimRefreshes() const { return total_victims_; }
 
   private:
-    std::vector<ActCount>& bankArray(int bank);
-    const std::vector<ActCount>& bankArray(int bank) const;
+    std::vector<ActCount>& tile(int bank, int subarray);
+    const std::vector<ActCount>& tile(int bank, int subarray) const;
+    ActCount& cell(int bank, int row);
+    const ActCount& cell(int bank, int row) const;
 
     int num_banks_;
     int rows_per_bank_;
     int blast_radius_;
-    std::vector<std::vector<ActCount>> counters_;
+    SubarrayGeometry geom_;
+    /** One counter tile per (bank, subarray), bank-major. */
+    std::vector<std::vector<ActCount>> tiles_;
     std::uint64_t total_acts_ = 0;
     std::uint64_t total_mitigations_ = 0;
     std::uint64_t total_victims_ = 0;

@@ -1,0 +1,16 @@
+#include "dram/subarray.h"
+
+#include <cstdio>
+
+namespace qprac::dram {
+
+std::string
+describeSubarrays(const SubarrayGeometry& g)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d subarrays x %d rows",
+                  g.count(), g.rowsPerSubarray());
+    return buf;
+}
+
+} // namespace qprac::dram

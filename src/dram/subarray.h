@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Subarray geometry: a DRAM bank as N independent subarrays
+ * (PRACtical, arXiv:2507.18581 §4). Each subarray owns a contiguous
+ * tile of rows, its own local row buffer / sense amps, and — under the
+ * subarray-level PRAC architecture — its own slice of the per-row
+ * activation counters, so counter write-backs in one subarray can
+ * proceed while another subarray serves the access stream.
+ */
+#ifndef QPRAC_DRAM_SUBARRAY_H
+#define QPRAC_DRAM_SUBARRAY_H
+
+#include "dram/address.h"
+
+namespace qprac::dram {
+
+/**
+ * Row <-> subarray bookkeeping for one bank geometry. Pure mapping —
+ * the dynamic write-back state lives in CounterUpdateQueue and the
+ * counter storage in PracCounters; both consume this.
+ */
+class SubarrayGeometry
+{
+  public:
+    /** Identity geometry (one subarray spanning the whole bank). */
+    SubarrayGeometry() = default;
+
+    SubarrayGeometry(int rows_per_bank, int subarrays_per_bank)
+        : rows_per_bank_(rows_per_bank),
+          rows_per_subarray_(
+              dram::rowsPerSubarray(rows_per_bank, subarrays_per_bank)),
+          count_(rows_per_bank / rows_per_subarray_)
+    {
+    }
+
+    SubarrayGeometry(const Organization& org, int subarrays_per_bank)
+        : SubarrayGeometry(org.rows_per_bank, subarrays_per_bank)
+    {
+    }
+
+    /** Effective subarray count (requested count clamped to >= 1 row
+     * per subarray). */
+    int count() const { return count_; }
+
+    int rowsPerSubarray() const { return rows_per_subarray_; }
+    int rowsPerBank() const { return rows_per_bank_; }
+
+    /** Subarray owning @p row, in [0, count()). */
+    int subarrayOf(int row) const { return row / rows_per_subarray_; }
+
+    /** First row of subarray @p sa. */
+    int firstRow(int sa) const { return sa * rows_per_subarray_; }
+
+    /** True when both rows share one subarray (their counters live in
+     * the same local counter table). */
+    bool sameSubarray(int row_a, int row_b) const
+    {
+        return subarrayOf(row_a) == subarrayOf(row_b);
+    }
+
+  private:
+    int rows_per_bank_ = 1;
+    int rows_per_subarray_ = 1;
+    int count_ = 1;
+};
+
+/** Human-readable geometry summary ("64 subarrays x 2048 rows"). */
+std::string describeSubarrays(const SubarrayGeometry& g);
+
+} // namespace qprac::dram
+
+#endif // QPRAC_DRAM_SUBARRAY_H

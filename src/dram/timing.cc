@@ -64,6 +64,10 @@ TimingParams::ddr5Prac()
     t.tRFMpb = t.nsToCycles(190);
     t.tABO_window = t.nsToCycles(180);
     t.abo_act_max = 3;
+    // The conventional split the same device would use if the counter
+    // RMW were not serialized into the row cycle (ddr5NoPrac's values).
+    t.tRAS_base = t.nsToCycles(32);
+    t.tRP_base = t.nsToCycles(16);
     QP_ASSERT(t.tRC == t.tRAS + t.tRP, "PRAC tRC must equal tRAS+tRP");
     return t;
 }
@@ -77,6 +81,8 @@ TimingParams::ddr5NoPrac()
     t.tRAS = t.nsToCycles(32);
     t.tRP = t.nsToCycles(16);
     t.tRC = t.tRAS + t.tRP; // 48 ns nominal
+    t.tRAS_base = t.tRAS; // already counter-free: nothing to recover
+    t.tRP_base = t.tRP;
     t.tABO_window = 0;
     t.abo_act_max = 0;
     QP_ASSERT(t.tRC == t.tRAS + t.tRP, "tRC must equal tRAS+tRP");

@@ -49,6 +49,16 @@ struct TimingParams
     int tABO_window = 0;  ///< max delay from ALERT to RFM (180 ns)
     int abo_act_max = 3;  ///< max ACTs the host may issue inside the window
 
+    // Conventional (counter-RMW-free) row-cycle split. PRAC folds the
+    // per-row counter read-modify-write into tRP (and shortens tRAS to
+    // compensate); when counter updates are taken off the critical path
+    // (counter-update=queued|coalesced, PRACtical-style) banks revert to
+    // this split and the RMW cost tRP - tRP_base is paid by the
+    // write-back queue instead. 0 means "same as tRAS/tRP" (no
+    // off-critical-path headroom to recover).
+    int tRAS_base = 0; ///< ACT -> PRE without the inline counter RMW
+    int tRP_base = 0;  ///< PRE -> ACT without the inline counter RMW
+
     /** Convert nanoseconds to (rounded-up) cycles at this clock. */
     int nsToCycles(double ns) const;
 

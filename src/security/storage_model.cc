@@ -1,5 +1,6 @@
 #include "security/storage_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.h"
@@ -60,6 +61,47 @@ storageTable(int trh)
         {"TWiCe", twiceBytes(trh)},
         {"CAT", catBytes(trh)},
         {"QPRAC", qpracPsqBytes(5, 128 * 1024, trh)},
+    };
+}
+
+double
+counterUpdateQueueBytes(int queue_depth, int rows_per_bank, int trh)
+{
+    QP_ASSERT(queue_depth >= 1, "queue depth must be positive");
+    const int row_bits =
+        static_cast<int>(std::ceil(std::log2(rows_per_bank)));
+    const int count_bits = 4; // saturating coalesce-run counter
+    (void)trh; // queue entries stage increments, not full counters
+    return static_cast<double>(queue_depth * (row_bits + count_bits)) /
+           8.0;
+}
+
+double
+subarrayLatchBytes(int subarrays, int rows_per_bank, int trh)
+{
+    QP_ASSERT(subarrays >= 1, "subarray count must be positive");
+    const int rows_per_subarray =
+        std::max(1, rows_per_bank / subarrays);
+    const int offset_bits = std::max(
+        1, static_cast<int>(std::ceil(std::log2(rows_per_subarray))));
+    return static_cast<double>(subarrays *
+                               (pracCounterBits(trh) + offset_bits)) /
+           8.0;
+}
+
+std::vector<TrackerStorage>
+counterUpdateStorageTable(int subarrays, int queue_depth,
+                          int rows_per_bank, int trh)
+{
+    const double queue =
+        counterUpdateQueueBytes(queue_depth, rows_per_bank, trh);
+    const double latches =
+        subarrayLatchBytes(subarrays, rows_per_bank, trh);
+    return {
+        {"inline RMW latch", subarrayLatchBytes(1, rows_per_bank, trh)},
+        {"write-back queue", queue},
+        {"subarray latches", latches},
+        {"queued total", queue + latches},
     };
 }
 

@@ -40,6 +40,34 @@ double catBytes(int trh);
 /** The full Table IV row set at a given TRH. */
 std::vector<TrackerStorage> storageTable(int trh);
 
+// --- Subarray counter architecture (dram/counter_update.h) ------------
+
+/**
+ * Per-bank SRAM of the counter write-back queue: queue_depth entries
+ * of row id + pending-increment count (coalescing needs a small
+ * saturating count field; 4 bits covers any realistic merge run).
+ */
+double counterUpdateQueueBytes(int queue_depth, int rows_per_bank,
+                               int trh);
+
+/**
+ * Per-bank SRAM of the per-subarray RMW latches: each subarray owns
+ * one local read-modify-write latch (counter bits + the row offset
+ * within the tile) so an ACT in one subarray can shadow a write-back
+ * in another.
+ */
+double subarrayLatchBytes(int subarrays, int rows_per_bank, int trh);
+
+/**
+ * Per-bank storage of the whole queued/coalesced counter update path
+ * (queue + latches), beside the inline baseline (one latch, no queue)
+ * for the Table IV-style comparison.
+ */
+std::vector<TrackerStorage> counterUpdateStorageTable(int subarrays,
+                                                      int queue_depth,
+                                                      int rows_per_bank,
+                                                      int trh);
+
 } // namespace qprac::security
 
 #endif // QPRAC_SECURITY_STORAGE_MODEL_H

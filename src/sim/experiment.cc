@@ -126,6 +126,7 @@ makeSystemConfig(const DesignSpec& design, const ExperimentConfig& cfg)
     sys.org.channels = cfg.channels;
     sys.org.ranks = cfg.ranks;
     sys.mapping = cfg.mapping;
+    sys.counter_update = cfg.counter_update;
     // Engine thread budget: the explicit per-run share, or a standalone
     // run's full budget. The System clamps it to the useful width for
     // the resolved engine mode (enginePoolDegree), so handing over the

@@ -79,6 +79,9 @@ struct ExperimentConfig
     int channels = 1;
     int ranks = 2;
     dram::MappingScheme mapping = dram::MappingScheme::RoRaBgBaCo;
+    /** Subarray-level counter architecture (scenario keys subarrays= /
+     * counter-update= / cuq_depth=); inline default = paper-faithful. */
+    dram::CounterUpdateConfig counter_update;
     /**
      * Scaled-LLC methodology: short runs touch far fewer distinct lines
      * than the paper's 500M-instruction runs, so the 8MB LLC of Table II

@@ -83,7 +83,7 @@ ScenarioConfig::keys()
         "ranks",    "mapping",    "insts",    "cores",
         "seed",     "llc_mb",     "threads",  "baseline",
         "r1",       "attack_cycles", "pipeline", "steal",
-        "corepar",
+        "corepar",  "subarrays",  "counter-update", "cuq_depth",
     };
     return k;
 }
@@ -234,6 +234,24 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
         attack_cycles = v;
         return true;
     }
+    if (key == "subarrays") {
+        int v = 0;
+        if (!parseIntInRange(value, 1, 1024, &v) ||
+            !isPowerOfTwo(static_cast<std::uint64_t>(v)))
+            return fail("expected a power of two in [1, 1024]");
+        subarrays = v;
+        return true;
+    }
+    if (key == "counter-update") {
+        dram::CounterUpdateMode mode;
+        if (!dram::parseCounterUpdateMode(trimmed(value), &mode))
+            return fail("expected inline, queued or coalesced");
+        counter_update = dram::counterUpdateModeName(mode);
+        return true;
+    }
+    if (key == "cuq_depth")
+        return parseIntInRange(value, 1, 4096, &cuq_depth) ||
+               fail("expected an integer in [1, 4096]");
     if (key == "pipeline")
         return parseEngineToggle(value, &engine.pipeline) ||
                fail("expected auto/on/off");
@@ -293,6 +311,12 @@ ScenarioConfig::get(const std::string& key) const
         return toString(engine.steal);
     if (key == "corepar")
         return toString(engine.corepar);
+    if (key == "subarrays")
+        return std::to_string(subarrays);
+    if (key == "counter-update")
+        return counter_update;
+    if (key == "cuq_depth")
+        return std::to_string(cuq_depth);
     fatal(strCat("ScenarioConfig::get: unknown key '", key, "'"));
 }
 
@@ -427,6 +451,11 @@ ScenarioConfig::experiment() const
     e.llc_mb = llc_mb ? llc_mb : ExperimentConfig::defaultLlcMb();
     e.seed = seed ? seed : ExperimentConfig::defaultSeed();
     e.engine = engine;
+    if (!dram::parseCounterUpdateMode(counter_update,
+                                      &e.counter_update.mode))
+        fatal(strCat("bad counter-update mode '", counter_update, "'"));
+    e.counter_update.subarrays = subarrays;
+    e.counter_update.queue_depth = cuq_depth;
     return e;
 }
 
@@ -724,6 +753,7 @@ recoveryAttackConfig(const ScenarioConfig& cfg, int attack_banks)
         fatal(strCat("bad mapping scheme '", cfg.mapping, "'"));
     if (cfg.attack_cycles)
         a.attack_cycles = static_cast<Cycle>(cfg.attack_cycles);
+    a.counter_update = cfg.experiment().counter_update;
     a.attack_banks = std::min(attack_banks, a.org.banksPerRank() - 1);
     return a;
 }
@@ -780,7 +810,8 @@ registerRecoveryAttacks(ScenarioRegistry& reg)
     const std::vector<std::string> keys = {
         "recovery", "channels", "ranks",   "mitigation",
         "backend",  "psq_size", "nbo",     "nmit",
-        "mapping",  "attack_cycles"};
+        "mapping",  "attack_cycles", "counter-update", "subarrays",
+        "cuq_depth"};
     reg.registerAttack(
         "rfm-probe",
         "cross-bank/cross-channel recovery timing channel "

@@ -112,6 +112,24 @@ struct ScenarioConfig
      */
     EngineOptions engine;
 
+    // --- counter architecture ------------------------------------------
+    /**
+     * Subarrays per bank (power of two in [1, 1024]). A pure storage
+     * layout with inline updates; with queued/coalesced updates it
+     * sets the number of parallel write-back slots an ACT shadows.
+     */
+    int subarrays = 64;
+    /**
+     * How ACT-driven PRAC counter updates commit physically:
+     * "inline" (paper-faithful, the RMW inside every precharge),
+     * "queued" (per-bank write-back queue, conventional tRC) or
+     * "coalesced" (queued + same-row merge). See dram/counter_update.h.
+     */
+    std::string counter_update = "inline";
+    /** Per-bank counter write-back queue depth (counter-update !=
+     * inline; a full queue falls back to an inline stall). */
+    int cuq_depth = 16;
+
     // --- attack-family knobs -------------------------------------------
     /** Wave/Feinting starting pool size (attack:wave r1). */
     int r1 = 2000;

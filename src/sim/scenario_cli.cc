@@ -33,7 +33,8 @@ const char* const kUsage =
     "in command-line order on top of --config FILE (an INI of\n"
     "key = value lines; keys: source mitigation backend psq_size nbo\n"
     "nmit recovery channels ranks mapping insts cores seed llc_mb\n"
-    "threads baseline r1 attack_cycles pipeline steal corepar).\n"
+    "threads baseline r1 attack_cycles pipeline steal corepar\n"
+    "subarrays counter-update cuq_depth).\n"
     "Sources: workload:NAME,\n"
     "trace:PATH, attack:NAME (--list-attacks shows each family's\n"
     "accepted keys). --recovery selects the ALERT_n blocking domain:\n"

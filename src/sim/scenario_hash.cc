@@ -10,9 +10,21 @@ namespace {
 /**
  * Bumping this tag re-keys the whole cache; see the header contract.
  * v1: all ScenarioConfig keys except threads/pipeline/steal, corepar
- * normalized auto -> off.
+ * normalized auto -> off. The counter-architecture keys (subarrays,
+ * counter-update, cuq_depth) serialize only when counter-update is not
+ * inline: with inline updates they cannot affect any result, and
+ * omitting them keeps every pre-subarray cache entry and golden hash
+ * valid without a tag bump.
  */
 constexpr const char* kFormatTag = "qprac-scenario-v1";
+
+/** Keys serialized only when the config leaves the inline default. */
+bool
+isCounterArchKey(const std::string& key)
+{
+    return key == "subarrays" || key == "counter-update" ||
+           key == "cuq_depth";
+}
 
 bool
 isExcluded(const std::string& key)
@@ -50,7 +62,10 @@ scenarioCanonicalKey(const ScenarioConfig& cfg)
 {
     std::string out = kFormatTag;
     out += '\n';
+    const bool inline_updates = cfg.counter_update == "inline";
     for (const auto& key : scenarioHashedKeys()) {
+        if (inline_updates && isCounterArchKey(key))
+            continue;
         std::string value = cfg.get(key);
         // corepar=auto resolves to off (EngineOptions contract: autos
         // are pure functions of the config); hash the resolved value

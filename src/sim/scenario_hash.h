@@ -17,6 +17,12 @@
  *    (MSHR-saturation handling diverges); its `auto` spelling is
  *    normalized to the resolved default `off` so auto and off share
  *    a cache entry.
+ *  - The counter-architecture keys (`subarrays`, `counter-update`,
+ *    `cuq_depth`) are hashed, but serialize only when `counter-update`
+ *    is not `inline`: inline updates make them result-neutral storage
+ *    layout, and omitting them keeps every pre-subarray cache entry
+ *    valid (an inline config hashes exactly as it did before the keys
+ *    existed).
  *  - Timing observations (SweepPointResult::wall_ms /
  *    sim_cycles_per_sec) are outputs, not config, and never reach the
  *    hash or the cached result document.

@@ -66,7 +66,8 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
     QP_ASSERT(static_cast<int>(traces_.size()) == cfg_.num_cores,
               "one trace per core required");
     memory_ = std::make_unique<ctrl::MemorySystem>(
-        cfg_.org, cfg_.timing, cfg_.ctrl, mitigation, cfg_.blast_radius);
+        cfg_.org, cfg_.timing, cfg_.ctrl, mitigation, cfg_.blast_radius,
+        cfg_.counter_update);
     llc_ = std::make_unique<cpu::SharedLlc>(cfg_.llc, *memory_, mapper_);
 
     // Resolve the engine v2 switches. Every `auto` resolves from the

@@ -103,6 +103,9 @@ struct SystemConfig
     cpu::CoreConfig core;
     int num_cores = 4;
     int blast_radius = 2;
+    /** Subarray-level counter architecture (dram/counter_update.h).
+     * The inline default is bit-identical to the pre-subarray system. */
+    dram::CounterUpdateConfig counter_update;
     Cycle max_cycles = 500'000'000;
     /**
      * Worker threads for the shard phase (clamped to the channel

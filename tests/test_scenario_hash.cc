@@ -122,14 +122,68 @@ TEST(ScenarioHash, ResultBearingKeysEachMoveTheHash)
             << change.first << " did not move the hash";
 }
 
+namespace {
+
+bool
+isCounterArchKey(const std::string& key)
+{
+    return key == "subarrays" || key == "counter-update" ||
+           key == "cuq_depth";
+}
+
+} // namespace
+
 TEST(ScenarioHash, CanonicalKeyShape)
 {
+    // The counter-architecture keys serialize only when counter-update
+    // leaves the inline default (they are result-neutral layout
+    // otherwise); every other hashed key always appears.
     const std::string key = scenarioCanonicalKey(ScenarioConfig{});
     EXPECT_EQ(key.rfind("qprac-scenario-v1\n", 0), 0u) << key;
-    for (const auto& hashed : scenarioHashedKeys())
+    for (const auto& hashed : scenarioHashedKeys()) {
+        if (isCounterArchKey(hashed)) {
+            EXPECT_EQ(key.find("\n" + hashed + "="), std::string::npos)
+                << hashed << " leaked into an inline config:\n" << key;
+            continue;
+        }
         EXPECT_NE(key.find("\n" + hashed + "="), std::string::npos)
             << hashed << " missing from:\n" << key;
+    }
+    const std::string queued =
+        scenarioCanonicalKey(withSets({{"counter-update", "queued"}}));
+    for (const auto& hashed : scenarioHashedKeys())
+        EXPECT_NE(queued.find("\n" + hashed + "="), std::string::npos)
+            << hashed << " missing from:\n" << queued;
 }
+
+TEST(ScenarioHash, CounterUpdateKeysMoveTheHashOnlyWhenQueued)
+{
+    const std::uint64_t base = scenarioHash(ScenarioConfig{});
+    // Leaving the inline default moves the hash...
+    const std::uint64_t queued =
+        scenarioHash(withSets({{"counter-update", "queued"}}));
+    const std::uint64_t coalesced =
+        scenarioHash(withSets({{"counter-update", "coalesced"}}));
+    EXPECT_NE(queued, base);
+    EXPECT_NE(coalesced, base);
+    EXPECT_NE(queued, coalesced);
+    // ...and so do subarrays/cuq_depth once off the critical path...
+    EXPECT_NE(scenarioHash(withSets({{"counter-update", "queued"},
+                                     {"subarrays", "128"}})),
+              queued);
+    EXPECT_NE(scenarioHash(withSets({{"counter-update", "queued"},
+                                     {"cuq_depth", "32"}})),
+              queued);
+    // ...but with inline updates they are result-neutral storage
+    // layout: explicit spellings alias the pre-subarray cache entry.
+    EXPECT_EQ(scenarioHash(withSets({{"counter-update", "inline"}})),
+              base);
+    EXPECT_EQ(scenarioHash(withSets({{"subarrays", "128"}})), base);
+    EXPECT_EQ(scenarioHash(withSets({{"cuq_depth", "32"}})), base);
+}
+
+constexpr const char* kGoldenQueued = "4845a83ddb7af038";
+constexpr const char* kGoldenCoalesced = "f9a6d1e988409a9f";
 
 // The on-disk contract: these exact values name sidecar files in every
 // existing cache directory. If a change here is intentional, bump the
@@ -147,6 +201,22 @@ TEST(ScenarioHash, GoldenValues)
                                         {"cores", "1"},
                                         {"nmit", "2"}})),
               "cd40735f2630d8a7");
+    // Queued/coalesced variants append the counter-architecture keys
+    // to the canonical form; the inline pins above must never move
+    // (PR 7 cache compatibility).
+    EXPECT_EQ(scenarioHashHex(withSets({{"source", "workload:429.mcf"},
+                                        {"insts", "20000"},
+                                        {"cores", "1"},
+                                        {"nmit", "1"},
+                                        {"counter-update", "queued"}})),
+              kGoldenQueued);
+    EXPECT_EQ(scenarioHashHex(withSets({{"source", "workload:429.mcf"},
+                                        {"insts", "20000"},
+                                        {"cores", "1"},
+                                        {"nmit", "1"},
+                                        {"counter-update", "coalesced"},
+                                        {"subarrays", "128"}})),
+              kGoldenCoalesced);
 }
 
 } // namespace
