@@ -3,8 +3,9 @@
  * Ablation — channel scaling: weighted speedup and alerts/tREFI for
  * QPRAC vs MOAT over 1/2/4 independent DRAM channels, plus the engine
  * scaling matrix: v1 (alternating) vs v2 (pipelined + work-stealing,
- * optionally threaded cores) over channels x threads, emitted to
- * BENCH_engine.json.
+ * optionally threaded cores) over channels x skip x threads, emitted
+ * to BENCH_engine.json together with a dense-vs-next-event skip
+ * efficiency measurement on an idle-heavy workload.
  *
  * The whole figure is driven by the checked-in scenario file
  * examples/scenarios/ablation_channels.ini and two sweep specs — no
@@ -36,14 +37,14 @@ main(int argc, char** argv)
 {
     bench::banner("Ablation",
                   "channel scaling: QPRAC vs MOAT over 1/2/4 channels, "
-                  "engine v1-vs-v2 scaling matrix at 4/8 channels");
+                  "engine v1-vs-v2 x skip scaling matrix at 4/8 channels");
 
     // --cache-dir / QPRAC_CACHE_DIR: caches the baseline and main
     // sweeps only. The engine-scaling matrix below must never be
-    // cached: its rows differ only in threads/pipeline/steal, which
-    // are result-neutral and so excluded from the scenario hash — all
-    // rows share one hash, and the point of the matrix is wall clock,
-    // which a cache hit falsifies.
+    // cached: its rows differ only in threads/pipeline/steal/skip,
+    // which are result-neutral and so excluded from the scenario hash —
+    // all rows share one hash, and the point of the matrix is wall
+    // clock, which a cache hit falsifies.
     sim::ResultCache cache(bench::cacheDirFromArgs(argc, argv));
 
     ScenarioConfig base = bench::loadBaseScenario(
@@ -122,17 +123,18 @@ main(int argc, char** argv)
     }
     t.print();
 
-    // --- Engine scaling: v1 vs v2, channels x threads ------------------
-    // One row per (channels, engine, threads). v1 is the PR 4
+    // --- Engine scaling: v1 vs v2, channels x skip x threads -----------
+    // One row per (channels, engine, skip, threads). v1 is the PR 4
     // alternating engine (pipeline=off, steal=off); v2 is the pipelined
     // + work-stealing engine; v2+corepar additionally threads the
-    // cores. v1 and v2 outputs are asserted bit-identical per channel
-    // count, and every engine is asserted thread-count-invariant, so
-    // the only thing that moves between rows is the wall clock.
-    // Speedups are vs the v1 threads=1 row of the same channel count.
-    // The whole matrix is written to BENCH_engine.json (the checked-in
-    // copy records a reference machine; QPRAC_BENCH_ENGINE_OUT moves
-    // it).
+    // cores; skip toggles the PR 9 next-event cycle skipping in the
+    // shard loops. Every row is asserted bit-identical to the v1 dense
+    // serial reference (skipping is a pure engine optimization, like
+    // threading), so the only thing that moves between rows is the
+    // wall clock. Speedups are vs the v1 skip=off threads=1 row of the
+    // same channel count. The whole matrix is written to
+    // BENCH_engine.json (the checked-in copy records a reference
+    // machine; QPRAC_BENCH_ENGINE_OUT moves it).
     struct Engine
     {
         const char* label;
@@ -148,10 +150,10 @@ main(int argc, char** argv)
 
     bench::ResultSink scale_csv(
         "ablation_channels_scaling",
-        {"channels", "engine", "threads", "wall_ms", "sim_cycles_per_sec",
-         "speedup_vs_v1_t1", "cycles", "ipc_sum"});
-    Table st({"channels", "engine", "threads", "wall ms", "Mcycles/s",
-              "speedup vs v1 t1"});
+        {"channels", "engine", "skip", "threads", "wall_ms",
+         "sim_cycles_per_sec", "speedup_vs_v1_t1", "cycles", "ipc_sum"});
+    Table st({"channels", "engine", "skip", "threads", "wall ms",
+              "Mcycles/s", "speedup vs v1 t1"});
 
     JsonWriter bench_json;
     bench_json.beginObject();
@@ -161,6 +163,11 @@ main(int argc, char** argv)
     bench_json.key("rows").beginArray();
 
     double wall_v1_t1_8ch = 0.0, wall_v2_t4_8ch = 0.0;
+    // v1 threads=1 dense vs skipping at 8 channels: the skip-bar pair.
+    // Channel striping leaves each 8-channel shard idle for the vast
+    // majority of its cycles, so this is the idle-heavy point where
+    // next-event skipping must pay (QPRAC_ASSERT_SKIP below).
+    double wall_8ch_dense = 0.0, wall_8ch_skip = 0.0;
     for (const char* ch : {"4", "8"}) {
         ScenarioConfig scaling = base;
         bool ok = scaling.set("baseline", "false", &set_err) &&
@@ -171,7 +178,7 @@ main(int argc, char** argv)
             fatal(strCat("bad scaling scenario: ", set_err));
 
         double wall_v1_t1 = 0.0;
-        std::string json_v1; // v1/v2 identity reference
+        std::string json_v1; // v1 dense serial identity reference
         std::map<std::string, std::string> json_t1; // per-engine t1 ref
         for (const auto& eng : engines) {
             ok = scaling.set("pipeline", eng.pipeline, &set_err) &&
@@ -179,62 +186,143 @@ main(int argc, char** argv)
                  scaling.set("corepar", eng.corepar, &set_err);
             if (!ok)
                 fatal(strCat("bad engine override: ", set_err));
-            for (int threads : {1, 2, 4}) {
-                scaling.threads = threads;
-                auto run = sim::runSweep(scaling, SweepSpec{}, &err);
-                if (run.size() != 1)
-                    fatal(strCat("scaling run failed: ", err));
-                const SweepPointResult& p = run.front();
-                const std::string json = p.result.resultJson();
-                // Thread-count invariance within each engine…
-                auto [it, fresh] = json_t1.emplace(eng.label, json);
-                if (!fresh && it->second != json)
-                    fatal(strCat(eng.label,
-                                 " diverged across thread counts"));
-                // …and v2 must be bit-identical to v1 outright.
-                if (std::string(eng.label) == "v1") {
-                    json_v1 = json;
-                    if (threads == 1)
-                        wall_v1_t1 = p.wall_ms;
-                } else if (std::string(eng.label) == "v2" &&
-                           json != json_v1) {
-                    fatal("v2 engine diverged from v1 output");
+            for (const char* skip : {"off", "on"}) {
+                if (!scaling.set("skip", skip, &set_err))
+                    fatal(strCat("bad skip override: ", set_err));
+                for (int threads : {1, 2, 4}) {
+                    scaling.threads = threads;
+                    auto run = sim::runSweep(scaling, SweepSpec{}, &err);
+                    if (run.size() != 1)
+                        fatal(strCat("scaling run failed: ", err));
+                    const SweepPointResult& p = run.front();
+                    const std::string json = p.result.resultJson();
+                    // Thread-count and skip invariance within each
+                    // engine (one reference per engine label covers
+                    // both axes)…
+                    auto [it, fresh] = json_t1.emplace(eng.label, json);
+                    if (!fresh && it->second != json)
+                        fatal(strCat(eng.label, " skip=", skip,
+                                     " diverged across rows"));
+                    // …and v2 must be bit-identical to v1 outright.
+                    const bool dense = std::string(skip) == "off";
+                    if (std::string(eng.label) == "v1") {
+                        json_v1 = json;
+                        if (dense && threads == 1)
+                            wall_v1_t1 = p.wall_ms;
+                    } else if (std::string(eng.label) == "v2" &&
+                               json != json_v1) {
+                        fatal("v2 engine diverged from v1 output");
+                    }
+                    if (std::string(ch) == "8") {
+                        if (std::string(eng.label) == "v1" &&
+                            threads == 1)
+                            (dense ? wall_8ch_dense : wall_8ch_skip) =
+                                p.wall_ms;
+                        if (!dense) {
+                            if (std::string(eng.label) == "v1" &&
+                                threads == 1)
+                                wall_v1_t1_8ch = p.wall_ms;
+                            if (std::string(eng.label) == "v2" &&
+                                threads == 4)
+                                wall_v2_t4_8ch = p.wall_ms;
+                        }
+                    }
+                    const double speedup =
+                        p.wall_ms > 0 ? wall_v1_t1 / p.wall_ms : 0.0;
+                    const double mcps = p.sim_cycles_per_sec / 1e6;
+                    scale_csv.addRow(
+                        {ch, eng.label, skip, Table::num(threads, 0),
+                         Table::num(p.wall_ms, 1), Table::num(mcps, 2),
+                         Table::num(speedup, 2),
+                         Table::num(double(p.result.sim.cycles), 0),
+                         Table::num(p.result.sim.ipc_sum, 3)});
+                    st.addRow({ch, eng.label, skip,
+                               Table::num(threads, 0),
+                               Table::num(p.wall_ms, 1),
+                               Table::num(mcps, 2),
+                               Table::num(speedup, 2)});
+                    bench_json.beginObject();
+                    bench_json.key("channels").value(ch);
+                    bench_json.key("engine").value(eng.label);
+                    bench_json.key("skip").value(skip);
+                    bench_json.key("threads").value(
+                        static_cast<std::uint64_t>(threads));
+                    bench_json.key("wall_ms").value(p.wall_ms);
+                    bench_json.key("sim_cycles_per_sec")
+                        .value(p.sim_cycles_per_sec);
+                    bench_json.key("speedup_vs_v1_t1").value(speedup);
+                    bench_json.key("cycles_skipped")
+                        .value(p.result.sim.skip.cycles_skipped);
+                    bench_json.endObject();
                 }
-                if (std::string(ch) == "8") {
-                    if (std::string(eng.label) == "v1" && threads == 1)
-                        wall_v1_t1_8ch = p.wall_ms;
-                    if (std::string(eng.label) == "v2" && threads == 4)
-                        wall_v2_t4_8ch = p.wall_ms;
-                }
-                const double speedup =
-                    p.wall_ms > 0 ? wall_v1_t1 / p.wall_ms : 0.0;
-                const double mcps = p.sim_cycles_per_sec / 1e6;
-                scale_csv.addRow(
-                    {ch, eng.label, Table::num(threads, 0),
-                     Table::num(p.wall_ms, 1), Table::num(mcps, 2),
-                     Table::num(speedup, 2),
-                     Table::num(double(p.result.sim.cycles), 0),
-                     Table::num(p.result.sim.ipc_sum, 3)});
-                st.addRow({ch, eng.label, Table::num(threads, 0),
-                           Table::num(p.wall_ms, 1),
-                           Table::num(mcps, 2),
-                           Table::num(speedup, 2)});
-                bench_json.beginObject();
-                bench_json.key("channels").value(ch);
-                bench_json.key("engine").value(eng.label);
-                bench_json.key("threads").value(
-                    static_cast<std::uint64_t>(threads));
-                bench_json.key("wall_ms").value(p.wall_ms);
-                bench_json.key("sim_cycles_per_sec")
-                    .value(p.sim_cycles_per_sec);
-                bench_json.key("speedup_vs_v1_t1").value(speedup);
-                bench_json.endObject();
             }
         }
     }
     st.print();
-
     bench_json.endArray();
+
+    // --- Skip efficiency: dense vs next-event on an idle-heavy point ---
+    // 444.namd has ~0.3 LLC misses/kilo-inst, so the DRAM shards spend
+    // almost every cycle with empty queues — this measures how much of
+    // the shard clock the horizons prove dead (and asserts byte
+    // identity once more). Its end-to-end ratio is Amdahl-capped by
+    // the serial core/LLC phase, so the QPRAC_ASSERT_SKIP bar below
+    // uses the matrix's 8-channel shard-bound pair instead.
+    const double skip_ratio_8ch =
+        wall_8ch_skip > 0 ? wall_8ch_dense / wall_8ch_skip : 0.0;
+    double namd_ratio = 0.0;
+    {
+        ScenarioConfig idle = base;
+        bool ok = idle.set("baseline", "false", &set_err) &&
+                  idle.set("channels", "4", &set_err) &&
+                  idle.set("mapping", "channel-striped", &set_err) &&
+                  idle.set("source", "workload:444.namd", &set_err);
+        if (!ok)
+            fatal(strCat("bad idle scenario: ", set_err));
+        idle.threads = 1;
+        double cps[2] = {0, 0};
+        std::string json_dense;
+        std::uint64_t skipped = 0, shard_cycles = 0;
+        for (int on = 0; on < 2; ++on) {
+            if (!idle.set("skip", on ? "on" : "off", &set_err))
+                fatal(strCat("bad skip override: ", set_err));
+            auto run = sim::runSweep(idle, SweepSpec{}, &err);
+            if (run.size() != 1)
+                fatal(strCat("idle run failed: ", err));
+            const SweepPointResult& p = run.front();
+            if (on == 0) {
+                json_dense = p.result.resultJson();
+            } else if (p.result.resultJson() != json_dense) {
+                fatal("skip=on diverged from dense on idle workload");
+            }
+            cps[on] = p.sim_cycles_per_sec;
+            if (on) {
+                skipped = p.result.sim.skip.cycles_skipped;
+                shard_cycles = p.result.sim.cycles * 4;
+            }
+        }
+        namd_ratio = cps[0] > 0 ? cps[1] / cps[0] : 0.0;
+        const double pct =
+            shard_cycles > 0 ? 100.0 * double(skipped) / double(shard_cycles)
+                             : 0.0;
+        std::printf("\nskip efficiency (444.namd, 4ch, threads=1): "
+                    "%.1f%% of shard cycles skipped, %.2fx sim-cycles/sec "
+                    "vs dense end to end\n"
+                    "skip efficiency (429.mcf, 8ch, v1, threads=1): "
+                    "%.2fx vs dense\n",
+                    pct, namd_ratio, skip_ratio_8ch);
+        bench_json.key("skip_bench").beginObject();
+        bench_json.key("source").value("workload:444.namd");
+        bench_json.key("channels").value(std::uint64_t{4});
+        bench_json.key("cycles_skipped").value(skipped);
+        bench_json.key("shard_cycles").value(shard_cycles);
+        bench_json.key("dense_cycles_per_sec").value(cps[0]);
+        bench_json.key("skip_cycles_per_sec").value(cps[1]);
+        bench_json.key("speedup").value(namd_ratio);
+        bench_json.key("speedup_8ch_v1_t1").value(skip_ratio_8ch);
+        bench_json.endObject();
+    }
+
     bench_json.endObject();
     const char* out_env = std::getenv("QPRAC_BENCH_ENGINE_OUT");
     const std::string out_path = out_env ? out_env : "BENCH_engine.json";
@@ -268,14 +356,29 @@ main(int argc, char** argv)
         }
     }
 
+    // CI smoke hook: next-event skipping must clearly pay for itself on
+    // the idle-heavy 8-channel point (each striped shard idles through
+    // the vast majority of its cycles) — >= 2x wall clock over dense
+    // ticking, single-threaded on the same box, so no core-count
+    // self-skip is needed.
+    if (std::getenv("QPRAC_ASSERT_SKIP")) {
+        std::printf("skip assert: next-event vs dense at 8 channels "
+                    "= %.2fx\n",
+                    skip_ratio_8ch);
+        if (skip_ratio_8ch < 2.0)
+            fatal(strCat("cycle skipping below bar: ",
+                         Table::num(skip_ratio_8ch, 2), "x < 2x"));
+    }
+
     std::printf(
         "\nTakeaway: sharding the memory system across channels spreads "
         "activations, so per-bank PRAC counts grow more slowly and both "
         "designs alert less; QPRAC's slowdown stays near zero at every "
         "channel count. The engine matrix shows v2's pipelined overlap "
-        "and work stealing: identical simulation output to v1 at every "
-        "row, wall clock bounded by the physical core count (%d here), "
-        "full numbers in %s.\n",
+        "and work stealing plus the next-event cycle skipping: identical "
+        "simulation output to v1 dense ticking at every row, wall clock "
+        "bounded by the physical core count (%d here), full numbers in "
+        "%s.\n",
         hardwareThreads(), out_path.c_str());
     return 0;
 }

@@ -91,8 +91,16 @@ main(int argc, char** argv)
          {"mapping", "channel-striped"},
          {"attack_cycles", "200000"}});
 
-    ScenarioConfig probe = base;
+    // The cold pass runs with next-event cycle skipping on, explicitly:
+    // skip is result-neutral and hash-excluded, so the sidecars the
+    // skipping run writes (and verifies against, byte for byte, in the
+    // warm pass below) are the same entries a dense pre-skip cache
+    // holds — PR 7 caches stay valid and the identity asserts prove it.
     std::string set_err;
+    if (!base.set("skip", "on", &set_err))
+        fatal(strCat("bad skip override: ", set_err));
+
+    ScenarioConfig probe = base;
     if (!probe.set("source", "attack:rfm-probe", &set_err))
         fatal(strCat("bad probe scenario: ", set_err));
 

@@ -93,6 +93,60 @@ AboEngine::tick(dram::DramDevice& dev, Cycle now)
     }
 }
 
+Cycle
+AboEngine::nextEventAt(const dram::DramDevice& dev, Cycle now) const
+{
+    Cycle at = kNeverCycle;
+
+    // Per-bank machines (isolated policies). Before the first tick the
+    // engine does not exist yet; a requested alert then moves state on
+    // the next tick.
+    if (!policy_->channelScope() && cfg_.enabled) {
+        if (bank_)
+            at = std::min(at, bank_->nextEventAt(dev, now));
+        else if (dev.anyBankAlertRequested())
+            at = std::min(at, now + 1);
+    }
+
+    // Channel-wide machine (ChannelStall alerts + the policy RFM pump).
+    switch (state_) {
+      case State::Idle:
+        if (policy_pending_ ||
+            (policy_->channelScope() && cfg_.enabled &&
+             dev.alertAsserted()))
+            at = std::min(at, now + 1);
+        // Otherwise the alert can only rise on an ACT — a wake itself.
+        break;
+
+      case State::Window:
+        at = std::min(at, window_acts_ >= t_.abo_act_max ? now + 1
+                                                         : window_end_);
+        break;
+
+      case State::Quiesce: {
+        // Transition when *all* ranks are idle: the max of the per-rank
+        // idle horizons, or never while a bank is open (its closing PRE
+        // is covered by the controller's quiesce-PRE concern).
+        Cycle all_idle = now + 1;
+        for (int r = 0; r < dev.organization().ranks; ++r) {
+            Cycle c = dev.rankIdleAt(r, now);
+            if (c == kNeverCycle) {
+                all_idle = kNeverCycle;
+                break;
+            }
+            all_idle = std::max(all_idle, c);
+        }
+        at = std::min(at, all_idle);
+        break;
+      }
+
+      case State::Pumping:
+        at = std::min(at, now < next_rfm_at_ ? next_rfm_at_ : now + 1);
+        break;
+    }
+    return at;
+}
+
 bool
 AboEngine::allowAct() const
 {

@@ -57,6 +57,16 @@ class AboEngine
     void tick(dram::DramDevice& dev, Cycle now);
 
     /**
+     * Event horizon: earliest future cycle this engine (including the
+     * per-bank recovery machines, when present) can change state given
+     * no intervening command or submit. Conservative lower bound —
+     * waking earlier than the true event is safe and merely costs a
+     * dense tick; kNeverCycle means "only an external event (itself a
+     * wake) can move this machine".
+     */
+    Cycle nextEventAt(const dram::DramDevice& dev, Cycle now) const;
+
+    /**
      * True when this tick's per-bank recovery issued an RFM: that RFM
      * occupied the command bus, so the controller schedules nothing
      * else this cycle. (Channel-stall RFM cycles schedule nothing

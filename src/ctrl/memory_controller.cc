@@ -50,6 +50,8 @@ MemoryController::MemoryController(dram::DramDevice& dev,
     bank_policy_acts_.assign(banks, 0);
     bank_rfm_pending_.assign(banks, 0);
     bank_rfm_since_.assign(banks, 0);
+    rank_ref_blocked_.assign(
+        static_cast<std::size_t>(dev.organization().ranks), 0);
     abo_.setRefresh(&refresh_);
     if (!abo_.channelScope()) {
         recovery_act_blocked_.assign(banks, 0);
@@ -292,14 +294,21 @@ MemoryController::tick(Cycle now)
     if (servicePerBankRfms(now))
         return;
 
+    // Nothing queued: skip the constraint build entirely (the
+    // scheduler would find nothing). The hysteresis below would land
+    // on drain_mode_ = false anyway, so pin it and bail.
+    if (reads_.empty() && writes_.empty()) {
+        drain_mode_ = false;
+        return;
+    }
+
     SchedConstraints cons;
     cons.allow_act = abo_.allowAct();
     cons.allow_cas = abo_.allowCas();
-    cons.rank_act_blocked.assign(
-        static_cast<std::size_t>(dev_.organization().ranks), 0);
     for (int r = 0; r < dev_.organization().ranks; ++r)
-        if (refresh_.refPending(r))
-            cons.rank_act_blocked[static_cast<std::size_t>(r)] = 1;
+        rank_ref_blocked_[static_cast<std::size_t>(r)] =
+            refresh_.refPending(r) ? 1 : 0;
+    cons.rank_act_blocked = &rank_ref_blocked_;
     const BankRecoveryEngine* engine = abo_.bankRecovery();
     if (abo_.channelScope() || !engine || engine->idle()) {
         // No per-bank recovery in flight (the common cycle): the
@@ -337,6 +346,135 @@ MemoryController::tick(Cycle now)
         if (!scheduleQueue(reads_, false, cons, now))
             scheduleQueue(writes_, true, cons, now);
     }
+}
+
+Cycle
+MemoryController::nextEventAt(Cycle now, WakeSource* why) const
+{
+    Cycle at = kNeverCycle;
+    WakeSource src = WakeSource::CommandReady;
+    auto concern = [&](Cycle c, WakeSource s) {
+        if (c < at) {
+            at = c;
+            src = s;
+        }
+    };
+
+    // Locally-held completions (sink-less mode only: the epoch engines
+    // install a sink that routes completions into the shard outbox, so
+    // this queue stays empty under the skipping engines).
+    if (!completions_.empty())
+        concern(completions_.top().at, WakeSource::CommandReady);
+
+    // Recovery machines (channel-wide ABO + per-bank engines).
+    concern(abo_.nextEventAt(dev_, now), WakeSource::Recovery);
+
+    // Refresh deadlines and pending-REF drains.
+    concern(refresh_.nextEventAt(dev_, now), WakeSource::Refresh);
+
+    // A tripped channel-wide policy-RFM threshold arms next tick.
+    const auto& policy = cfg_.rfm_policy;
+    if (policy.enabled() && !policy.per_bank &&
+        acts_since_policy_rfm_ >=
+            static_cast<std::uint64_t>(policy.acts_per_rfm) &&
+        abo_.idle())
+        concern(now + 1, WakeSource::Recovery);
+
+    // Quiesce PREs: an open bank under quiesce demand precharges once
+    // its PRE window expires. (The pending-old-hit carve-out can only
+    // delay the PRE behind row-hit CASes, which are wakes themselves.)
+    for (int b = 0; b < dev_.numBanks(); ++b) {
+        if (!dev_.bank(b).isOpen())
+            continue;
+        const bool demand =
+            abo_.quiesceSince(b) != kNeverCycle ||
+            refresh_.pendingSince(dev_.rankOf(b)) != kNeverCycle ||
+            bank_rfm_pending_[static_cast<std::size_t>(b)];
+        if (demand)
+            concern(dev_.preReadyAt(b), WakeSource::CommandReady);
+    }
+
+    // Pending per-bank policy RFMs fire when their coverage drains.
+    for (int b = 0; b < dev_.numBanks(); ++b) {
+        if (!bank_rfm_pending_[static_cast<std::size_t>(b)])
+            continue;
+        const dram::RfmScope scope = cfg_.rfm_policy.scope;
+        Cycle ready = now + 1;
+        for (int i = 0; i < dev_.numBanks(); ++i) {
+            bool covered;
+            switch (scope) {
+              case dram::RfmScope::AllBank:
+                covered = true;
+                break;
+              case dram::RfmScope::SameBank:
+                covered = dev_.rankOf(i) == dev_.rankOf(b) &&
+                          dev_.bankIndexOf(i) == dev_.bankIndexOf(b);
+                break;
+              case dram::RfmScope::PerBank:
+              default:
+                covered = i == b;
+                break;
+            }
+            if (!covered)
+                continue;
+            const dram::Bank& bank = dev_.bank(i);
+            if (bank.isOpen()) {
+                // The covering PRE (or the command chain closing the
+                // bank) is a wake of its own.
+                ready = kNeverCycle;
+                break;
+            }
+            ready = std::max(ready, bank.nextActReady());
+        }
+        concern(ready, WakeSource::Recovery);
+    }
+
+    // Queued requests: the earliest cycle any of them could make the
+    // scheduler issue a command. Gated candidates (an ACT behind a
+    // quiesce or pending REF/RFM, a CAS behind a pump) are excluded:
+    // the gate opens only on a machine transition that is itself a
+    // wake, after which this horizon is recomputed.
+    auto queue_concern = [&](const RequestQueue& q, bool is_write) {
+        for (int i = 0; i < q.size(); ++i) {
+            const Request& r = q.at(i);
+            const dram::Bank& bank = dev_.bank(r.flat_bank);
+            if (bank.isOpen()) {
+                if (bank.openRow() == r.dec.row) {
+                    if (!abo_.allowCas(r.flat_bank))
+                        continue;
+                    concern(is_write ? dev_.writeReadyAt(r.flat_bank)
+                                     : dev_.readReadyAt(r.flat_bank),
+                            WakeSource::CommandReady);
+                } else {
+                    // Row conflict: PRE (never recovery-gated; the
+                    // hit-suppression check only defers it behind
+                    // CAS wakes).
+                    concern(dev_.preReadyAt(r.flat_bank),
+                            WakeSource::CommandReady);
+                }
+            } else {
+                if (!abo_.allowAct(r.flat_bank) ||
+                    bank_rfm_pending_[static_cast<std::size_t>(
+                        r.flat_bank)] ||
+                    refresh_.refPending(dev_.rankOf(r.flat_bank)))
+                    continue;
+                concern(dev_.actReadyAt(r.flat_bank),
+                        WakeSource::CommandReady);
+            }
+        }
+    };
+    queue_concern(reads_, false);
+    queue_concern(writes_, true);
+
+    // CounterUpdateQueues contribute no concern: drains are evaluated
+    // lazily at command time (see the header contract), so between
+    // commands they cannot change state.
+
+    if (at <= now)
+        at = now + 1; // degenerate to dense ticking
+    if (why)
+        *why = src;
+    return at;
 }
 
 bool

@@ -31,6 +31,23 @@ struct ControllerConfig
     mitigations::RfmPolicy rfm_policy; ///< Mithril/PrIDE pacing (optional)
 };
 
+/**
+ * Why a skipped shard woke up: the concern that produced the winning
+ * (earliest) horizon in MemoryController::nextEventAt, plus the two
+ * engine-level wake sources (mailbox arrivals, epoch windows) that
+ * clamp the jump in MemorySystem::runShard.
+ */
+enum class WakeSource
+{
+    CommandReady,  ///< a queued request's timing constraint expires
+    Refresh,       ///< a rank's tREFI deadline or REF drain completes
+    Recovery,      ///< an ABO / per-bank recovery machine transition
+    CuqDrain,      ///< counter-update-queue work (lazy: never fires, see
+                   ///< MemoryController::nextEventAt)
+    Mailbox,       ///< a staged submit becomes eligible for ingest
+    EpochBoundary, ///< the shard window ended before the horizon
+};
+
 /** Controller stat counters. */
 struct CtrlStats
 {
@@ -93,6 +110,31 @@ class MemoryController
     /** Advance one DRAM command-clock cycle. */
     void tick(Cycle now);
 
+    /**
+     * Event horizon for the cycle-skipping engine: the earliest future
+     * cycle (> @p now) at which this controller could change observable
+     * state — issue a command, fire a completion, or move a state
+     * machine — assuming *no external input* (no enqueue) arrives in
+     * between. Call after tick(now); the MemorySystem shard loop jumps
+     * straight to the returned cycle.
+     *
+     * Contract: the bound is conservative (never over-reports). Waking
+     * earlier than the true event is always safe — the shard just pays
+     * a dense tick — so every concern below is a lower bound, and
+     * anything that cannot be bounded cheaply returns now + 1 (dense).
+     * Gated candidates (an ACT behind a quiesce, a CAS behind a pump)
+     * are excluded by induction: the gate can only open on a machine
+     * transition that is itself a wake, after which the horizon is
+     * recomputed with the gate open. CounterUpdateQueues contribute no
+     * concern at all: their drains are evaluated lazily at command
+     * time (dram/counter_update.h), so between commands they cannot
+     * change state — the CuqDrain wake source is honestly zero.
+     *
+     * @param why (optional) receives the concern that produced the
+     *        winning horizon.
+     */
+    Cycle nextEventAt(Cycle now, WakeSource* why = nullptr) const;
+
     /** True when no requests are queued or in flight. */
     bool drained() const;
 
@@ -135,9 +177,15 @@ class MemoryController
     std::vector<std::uint32_t> bank_policy_acts_; ///< per-bank RAA counters
     std::vector<char> bank_rfm_pending_;
     std::vector<Cycle> bank_rfm_since_;
+    /** Per-rank REF gate handed to the scheduler by pointer; sized once
+     * here and refreshed in place so the per-tick constraint build
+     * never touches the heap. */
+    std::vector<char> rank_ref_blocked_;
     /** Per-bank scheduling gates (isolated recovery policies): the
      * union of policy-RFM pending and the recovery engine's blocking,
-     * rebuilt each tick. Unused (empty) under channel-stall. */
+     * rebuilt in place only on ticks where that recovery is in flight.
+     * Unused (empty) under channel-stall — those ticks alias the
+     * policy-RFM vector instead of rebuilding anything. */
     std::vector<char> recovery_act_blocked_;
     std::vector<char> recovery_cas_blocked_;
     std::uint64_t per_bank_policy_rfms_ = 0;

@@ -20,6 +20,43 @@ constexpr std::size_t kMailboxCapacity = 4096;
 
 } // namespace
 
+void
+SkipStats::note(WakeSource why)
+{
+    switch (why) {
+      case WakeSource::CommandReady:
+        ++wakes_command;
+        break;
+      case WakeSource::Refresh:
+        ++wakes_refresh;
+        break;
+      case WakeSource::Recovery:
+        ++wakes_recovery;
+        break;
+      case WakeSource::CuqDrain:
+        ++wakes_cuq;
+        break;
+      case WakeSource::Mailbox:
+        ++wakes_mailbox;
+        break;
+      case WakeSource::EpochBoundary:
+        ++wakes_epoch;
+        break;
+    }
+}
+
+void
+SkipStats::add(const SkipStats& o)
+{
+    cycles_skipped += o.cycles_skipped;
+    wakes_command += o.wakes_command;
+    wakes_refresh += o.wakes_refresh;
+    wakes_recovery += o.wakes_recovery;
+    wakes_cuq += o.wakes_cuq;
+    wakes_mailbox += o.wakes_mailbox;
+    wakes_epoch += o.wakes_epoch;
+}
+
 MemorySystem::MemorySystem(const dram::Organization& org,
                            const dram::TimingParams& timing,
                            const ControllerConfig& ctrl_config,
@@ -88,6 +125,9 @@ MemorySystem::enqueueRead(Addr addr, const dram::DecodedAddr& dec,
                           std::function<void(Cycle)> on_complete,
                           Cycle now)
 {
+    // Direct enqueues bypass the mailboxes, so the persisted horizon
+    // no longer bounds the next event: tick densely until recomputed.
+    shard(dec.channel).wake_at = 0;
     return shard(dec.channel)
         .controller->enqueueRead(addr, dec, source, std::move(on_complete),
                                  now);
@@ -97,6 +137,7 @@ bool
 MemorySystem::enqueueWrite(Addr addr, const dram::DecodedAddr& dec,
                            int source, Cycle now)
 {
+    shard(dec.channel).wake_at = 0;
     return shard(dec.channel).controller->enqueueWrite(addr, dec, source,
                                                        now);
 }
@@ -204,14 +245,62 @@ MemorySystem::deliverCompletions(Cycle now)
     }
 }
 
+Cycle
+MemorySystem::mailboxWakeAt(Shard& s) const
+{
+    Cycle at = kNeverCycle;
+    if (SubmitMsg* m = s.write_in->peek())
+        at = std::min(at, m->stamp + 1);
+    if (SubmitMsg* m = s.read_in->peek())
+        at = std::min(at, m->stamp + 1);
+    return at;
+}
+
 void
 MemorySystem::runShard(int channel, Cycle begin, Cycle end,
                        Cycle emit_guard)
 {
     Shard& s = shard(channel);
     s.epoch_end = emit_guard;
-    for (Cycle u = begin; u < end; ++u)
+    if (!skip_) {
+        for (Cycle u = begin; u < end; ++u)
+            tickShard(s, u);
+        return;
+    }
+    // Next-event loop: after each tick the controller advertises the
+    // earliest cycle it could act again (nextEventAt, a conservative
+    // bound), and the loop jumps straight there. Two clamps keep the
+    // jump sound against external input: the staged submit heads (a
+    // submit stamped t must be ingested before tick t+1 — within this
+    // window the staged producer view is fixed, and heads only advance
+    // at ticks we execute) and the window end (the LLC interacts at
+    // window boundaries; the persisted wake_at survives into the next
+    // window). Everything else the controller can do is, by the
+    // horizon contract, not before wake_at — so the skipped cycles are
+    // exactly the ticks dense execution would have spent doing nothing.
+    for (Cycle u = begin; u < end;) {
+        Cycle wake = s.wake_at;
+        WakeSource why = s.wake_why;
+        Cycle mb = mailboxWakeAt(s);
+        if (mb < wake) {
+            wake = mb;
+            why = WakeSource::Mailbox;
+        }
+        if (wake > u) {
+            Cycle to = std::min(wake, end);
+            s.skip.cycles_skipped += to - u;
+            u = to;
+            if (u >= end) {
+                // The window closed before the horizon.
+                s.skip.note(WakeSource::EpochBoundary);
+                break;
+            }
+            s.skip.note(why);
+        }
         tickShard(s, u);
+        s.wake_at = s.controller->nextEventAt(u, &s.wake_why);
+        ++u;
+    }
 }
 
 void
@@ -247,8 +336,26 @@ MemorySystem::tick(Cycle now)
     deliverCompletions(now);
     for (auto& s : shards_) {
         s.epoch_end = now + 1;
+        s.wake_at = 0; // caller owns the loop: no horizon to trust
         tickShard(s, now);
     }
+}
+
+void
+MemorySystem::setCycleSkipping(bool on)
+{
+    skip_ = on;
+    for (auto& s : shards_)
+        s.wake_at = 0;
+}
+
+SkipStats
+MemorySystem::skipStats() const
+{
+    SkipStats total;
+    for (const auto& s : shards_)
+        total.add(s.skip);
+    return total;
 }
 
 bool

@@ -82,6 +82,30 @@ using MitigationFactory =
     std::function<std::unique_ptr<dram::RowhammerMitigation>(
         dram::PracCounters*)>;
 
+/**
+ * Cycle-skipping efficiency counters. cycles_skipped counts shard
+ * cycles never densely ticked; the wakes_* counters attribute each
+ * horizon-bounded jump to the concern that ended it (WakeSource).
+ * Purely observational — they never feed result documents or hashes.
+ */
+struct SkipStats
+{
+    std::uint64_t cycles_skipped = 0;
+    std::uint64_t wakes_command = 0;  ///< WakeSource::CommandReady
+    std::uint64_t wakes_refresh = 0;  ///< WakeSource::Refresh
+    std::uint64_t wakes_recovery = 0; ///< WakeSource::Recovery
+    std::uint64_t wakes_cuq = 0;      ///< WakeSource::CuqDrain (always 0:
+                                      ///< cuq drains are command-lazy)
+    std::uint64_t wakes_mailbox = 0;  ///< WakeSource::Mailbox
+    std::uint64_t wakes_epoch = 0;    ///< jump truncated by the window
+
+    /** Attribute one wake to @p why. */
+    void note(WakeSource why);
+
+    /** Accumulate another shard's counters. */
+    void add(const SkipStats& o);
+};
+
 /** N-channel sharded memory system. */
 class MemorySystem
 {
@@ -182,6 +206,29 @@ class MemorySystem
     /** Land buffered ACT notifications on every channel's mitigation. */
     void flushMitigationActs() const;
 
+    // --- Cycle skipping (next-event shard loops) -------------------------
+    /**
+     * Enable/disable horizon-bounded jumps in runShard. With skipping
+     * on, each shard asks its controller for an event horizon
+     * (MemoryController::nextEventAt) after every tick and bulk-skips
+     * the dead cycles up to it, clamped by the staged submit mailbox
+     * heads (a submit stamped t is ingested before tick t+1) and the
+     * window end. The observable command sequence is bit-identical to
+     * dense ticking — the horizon is a conservative bound and every
+     * external input lands on a wake — so results, goldens and
+     * scenario hashes are unaffected. The serial tick() path is dense
+     * regardless (its caller owns the cycle loop). No cycle-
+     * proportional per-tick state exists in the controller or device
+     * (stats count commands, ages derive from arrival stamps), so
+     * skipping needs no bulk catch-up.
+     */
+    void setCycleSkipping(bool on);
+
+    bool cycleSkipping() const { return skip_; }
+
+    /** Summed per-shard skip counters (zeros when skipping is off). */
+    SkipStats skipStats() const;
+
     // --- Per-shard access -----------------------------------------------
     dram::DramDevice& device(int channel);
     const dram::DramDevice& device(int channel) const;
@@ -219,6 +266,13 @@ class MemorySystem
         /** Shard -> main completion outbox (per-shard clock domain). */
         std::unique_ptr<SpscRing<CompletionMsg>> complete_out;
         Cycle epoch_end = 0; ///< first cycle after the current epoch
+        /** Persisted event horizon (cycle skipping): no controller
+         * event before this cycle absent external input. 0 = unknown,
+         * tick densely. Survives window boundaries; invalidated by
+         * direct enqueues (the serial paths bypass the mailboxes). */
+        Cycle wake_at = 0;
+        WakeSource wake_why = WakeSource::CommandReady;
+        SkipStats skip; ///< this shard's skip counters
     };
 
     Shard& shard(int channel);
@@ -227,8 +281,13 @@ class MemorySystem
     void ingest(Shard& s, Cycle now);
     void tickShard(Shard& s, Cycle now);
 
+    /** Earliest cycle a staged submit could be ingested (head stamps
+     * + 1), kNeverCycle when both inbound mailboxes are empty. */
+    Cycle mailboxWakeAt(Shard& s) const;
+
     dram::Organization org_;
     Cycle epoch_ = 1;
+    bool skip_ = false;
     std::vector<Shard> shards_;
 };
 

@@ -33,6 +33,58 @@ BankRecoveryEngine::coveredIdle(const dram::DramDevice& dev,
     return true;
 }
 
+Cycle
+BankRecoveryEngine::coveredIdleAt(const dram::DramDevice& dev,
+                                  const BankState& m, Cycle now) const
+{
+    Cycle at = now + 1;
+    for (int b = 0; b < static_cast<int>(m.covers.size()); ++b) {
+        if (!m.covers[static_cast<std::size_t>(b)])
+            continue;
+        const dram::Bank& bank = dev.bank(b);
+        if (bank.isOpen())
+            return kNeverCycle;
+        at = std::max(at, bank.nextActReady());
+    }
+    return at;
+}
+
+Cycle
+BankRecoveryEngine::nextEventAt(const dram::DramDevice& dev,
+                                Cycle now) const
+{
+    // A requested alert starts a machine on the next tick. (Alert
+    // levels move only on ACT/RFM/REF commands, so during a skipped
+    // span this sample cannot flip.)
+    if (dev.anyBankAlertRequested())
+        return now + 1;
+    if (active_ == 0)
+        return kNeverCycle;
+    Cycle at = kNeverCycle;
+    for (const BankState& m : banks_) {
+        switch (m.state) {
+          case State::Idle:
+            break;
+          case State::Window:
+            at = std::min(at, m.window_acts >= t_.abo_act_max
+                                  ? now + 1
+                                  : m.window_end);
+            break;
+          case State::Quiesce:
+            at = std::min(at, coveredIdleAt(dev, m, now));
+            break;
+          case State::Pumping:
+            // Bus/REF contention between machines resolves densely:
+            // once past next_rfm_at the machine re-arbitrates each
+            // cycle until its RFM lands or it finishes.
+            at = std::min(at, now < m.next_rfm_at ? m.next_rfm_at
+                                                  : now + 1);
+            break;
+        }
+    }
+    return at;
+}
+
 void
 BankRecoveryEngine::rebuildGates()
 {

@@ -54,6 +54,15 @@ class BankRecoveryEngine
     bool tick(dram::DramDevice& dev, const RefreshScheduler* refresh,
               Cycle now);
 
+    /**
+     * Event horizon: earliest future cycle any machine can change state
+     * given no intervening command. Conservative lower bound — waking
+     * early is safe; kNeverCycle means every possible transition hangs
+     * off an external event that is itself a wake (an ACT raising an
+     * alert, a PRE closing a covered bank).
+     */
+    Cycle nextEventAt(const dram::DramDevice& dev, Cycle now) const;
+
     /** May the controller ACT on @p bank this cycle? */
     bool allowAct(int bank) const
     {
@@ -112,6 +121,11 @@ class BankRecoveryEngine
 
     bool coveredIdle(const dram::DramDevice& dev, const BankState& m,
                      Cycle now) const;
+
+    /** Earliest cycle coveredIdle() becomes true (kNeverCycle if a
+     * covered bank is open — the closing PRE is a wake of its own). */
+    Cycle coveredIdleAt(const dram::DramDevice& dev, const BankState& m,
+                        Cycle now) const;
 
     /** Recompute the per-bank gate vectors from the machine states. */
     void rebuildGates();

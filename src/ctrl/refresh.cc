@@ -45,4 +45,17 @@ RefreshScheduler::pendingSince(int rank) const
     return st.pending ? st.pending_since : kNeverCycle;
 }
 
+Cycle
+RefreshScheduler::nextEventAt(const dram::DramDevice& dev, Cycle now) const
+{
+    Cycle at = kNeverCycle;
+    for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+        const auto& st = ranks_[static_cast<std::size_t>(r)];
+        Cycle c = st.pending ? dev.rankIdleAt(r, now)
+                             : std::max(st.next_due, now + 1);
+        at = std::min(at, c);
+    }
+    return at;
+}
+
 } // namespace qprac::ctrl

@@ -38,6 +38,16 @@ class RefreshScheduler
     /** Cycle the pending REF was first due (kNeverCycle if none). */
     Cycle pendingSince(int rank) const;
 
+    /**
+     * Event horizon: earliest future cycle this scheduler can change
+     * state without an intervening command. A non-pending rank sleeps
+     * until its next_due; a pending rank fires when the rank drains
+     * (kNeverCycle while a bank is open — the closing PRE is a wake of
+     * its own). Conservative lower bound; see MemoryController::
+     * nextEventAt for the contract.
+     */
+    Cycle nextEventAt(const dram::DramDevice& dev, Cycle now) const;
+
     std::uint64_t refsIssued() const { return refs_issued_; }
 
   private:

@@ -49,8 +49,9 @@ pickFrFcfs(const RequestQueue& q, bool is_write, const dram::DramDevice& dev,
             continue; // waiting on CAS timing; nothing to do here
         int rank = dev.rankOf(r.flat_bank);
         bool rank_blocked =
-            rank < static_cast<int>(cons.rank_act_blocked.size()) &&
-            cons.rank_act_blocked[static_cast<std::size_t>(rank)];
+            cons.rank_act_blocked &&
+            rank < static_cast<int>(cons.rank_act_blocked->size()) &&
+            (*cons.rank_act_blocked)[static_cast<std::size_t>(rank)];
         bool bank_blocked =
             cons.bank_act_blocked &&
             r.flat_bank <

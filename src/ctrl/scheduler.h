@@ -32,8 +32,10 @@ struct SchedConstraints
 {
     bool allow_act = true;
     bool allow_cas = true;
-    /** Ranks with a pending REF: no new ACTs there. */
-    std::vector<char> rank_act_blocked;
+    /** Ranks with a pending REF: no new ACTs there (null = none).
+     * A pointer into controller-owned storage so the common cycle
+     * builds constraints without touching the heap. */
+    const std::vector<char>* rank_act_blocked = nullptr;
     /** Banks awaiting a per-bank policy RFM or blocked by an isolated
      * recovery: no new ACTs there. */
     const std::vector<char>* bank_act_blocked = nullptr;

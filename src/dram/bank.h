@@ -75,6 +75,12 @@ class Bank
     /** Earliest cycle the bank could accept a PRE. */
     Cycle nextPreReady() const { return next_pre_; }
 
+    /** Earliest cycle the open row could accept a RD. */
+    Cycle nextRdReady() const { return next_rd_; }
+
+    /** Earliest cycle the open row could accept a WR. */
+    Cycle nextWrReady() const { return next_wr_; }
+
     /** True if the bank is precharged and past all blocking windows. */
     bool idleAt(Cycle now) const;
 

@@ -185,6 +185,64 @@ DramDevice::rankIdle(int rank, Cycle now) const
     return true;
 }
 
+Cycle
+DramDevice::actReadyAt(int flat_bank) const
+{
+    const Bank& b = bank(flat_bank);
+    return std::max(
+        b.nextActReady(),
+        rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))]
+            .nextActReady(bankgroupOf(flat_bank)));
+}
+
+Cycle
+DramDevice::preReadyAt(int flat_bank) const
+{
+    return bank(flat_bank).nextPreReady();
+}
+
+Cycle
+DramDevice::readReadyAt(int flat_bank) const
+{
+    const Bank& b = bank(flat_bank);
+    Cycle ready = std::max(
+        b.nextRdReady(),
+        rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))]
+            .nextCasReady(bankgroupOf(flat_bank)));
+    Cycle tCL = static_cast<Cycle>(t_.tCL);
+    if (data_bus_free_ > tCL)
+        ready = std::max(ready, data_bus_free_ - tCL);
+    return ready;
+}
+
+Cycle
+DramDevice::writeReadyAt(int flat_bank) const
+{
+    const Bank& b = bank(flat_bank);
+    Cycle ready = std::max(
+        b.nextWrReady(),
+        rank_timing_[static_cast<std::size_t>(rankOf(flat_bank))]
+            .nextCasReady(bankgroupOf(flat_bank)));
+    Cycle tCWL = static_cast<Cycle>(t_.tCWL);
+    if (data_bus_free_ > tCWL)
+        ready = std::max(ready, data_bus_free_ - tCWL);
+    return ready;
+}
+
+Cycle
+DramDevice::rankIdleAt(int rank, Cycle now) const
+{
+    const int per_rank = org_.banksPerRank();
+    Cycle at = now;
+    for (int i = rank * per_rank; i < (rank + 1) * per_rank; ++i) {
+        const Bank& b = banks_[static_cast<std::size_t>(i)];
+        if (b.isOpen())
+            return kNeverCycle;
+        at = std::max(at, b.nextActReady());
+    }
+    return at;
+}
+
 void
 DramDevice::issueAct(int flat_bank, int row, Cycle now)
 {

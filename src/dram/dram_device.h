@@ -119,6 +119,34 @@ class DramDevice
     /** True when every bank in @p rank is precharged and unblocked. */
     bool rankIdle(int rank, Cycle now) const;
 
+    // --- Event horizons (cycle-skipping engine) -------------------------
+    // Each returns the earliest cycle the corresponding command *could*
+    // satisfy the device-side timing constraints, assuming no further
+    // commands are issued in between. They are conservative lower
+    // bounds: the real issue cycle may be later (controller gates,
+    // scheduling order), never earlier. kNeverCycle means "not until
+    // some other command changes bank state first" (e.g. rankIdleAt of
+    // a rank with an open bank).
+
+    /** Earliest cycle an ACT to @p flat_bank could meet bank+rank timing. */
+    Cycle actReadyAt(int flat_bank) const;
+
+    /** Earliest cycle a PRE to @p flat_bank could meet bank timing. */
+    Cycle preReadyAt(int flat_bank) const;
+
+    /** Earliest cycle a RD to @p flat_bank could meet bank+rank+bus timing. */
+    Cycle readReadyAt(int flat_bank) const;
+
+    /** Earliest cycle a WR to @p flat_bank could meet bank+rank+bus timing. */
+    Cycle writeReadyAt(int flat_bank) const;
+
+    /**
+     * Earliest cycle every bank in @p rank will satisfy idleAt(), or
+     * kNeverCycle if some bank is open (closing it takes a PRE — an
+     * event of its own).
+     */
+    Cycle rankIdleAt(int rank, Cycle now) const;
+
     // --- Command issue --------------------------------------------------
     /** Issue an ACT; increments PRAC and notifies the mitigation. */
     void issueAct(int flat_bank, int row, Cycle now);

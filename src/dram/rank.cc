@@ -62,4 +62,13 @@ RankTiming::nextActReady(int bankgroup) const
     return ready;
 }
 
+Cycle
+RankTiming::nextCasReady(int bankgroup) const
+{
+    if (!has_cas_)
+        return 0;
+    int ccd = (bankgroup == last_cas_bg_) ? t_.tCCD_L : t_.tCCD_S;
+    return last_cas_any_ + ccd;
+}
+
 } // namespace qprac::dram

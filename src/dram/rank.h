@@ -34,6 +34,9 @@ class RankTiming
     /** Earliest cycle an ACT could be accepted anywhere in this rank. */
     Cycle nextActReady(int bankgroup) const;
 
+    /** Earliest cycle a CAS could be accepted in @p bankgroup. */
+    Cycle nextCasReady(int bankgroup) const;
+
   private:
     const TimingParams& t_;
     Cycle last_act_any_ = 0;

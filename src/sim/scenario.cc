@@ -83,7 +83,8 @@ ScenarioConfig::keys()
         "ranks",    "mapping",    "insts",    "cores",
         "seed",     "llc_mb",     "threads",  "baseline",
         "r1",       "attack_cycles", "pipeline", "steal",
-        "corepar",  "subarrays",  "counter-update", "cuq_depth",
+        "corepar",  "skip",       "subarrays",  "counter-update",
+        "cuq_depth",
     };
     return k;
 }
@@ -261,6 +262,9 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
     if (key == "corepar")
         return parseEngineToggle(value, &engine.corepar) ||
                fail("expected auto/on/off");
+    if (key == "skip")
+        return parseEngineToggle(value, &engine.skip) ||
+               fail("expected auto/on/off");
     if (err)
         *err = strCat("unknown config key '", key, "'");
     return false;
@@ -311,6 +315,8 @@ ScenarioConfig::get(const std::string& key) const
         return toString(engine.steal);
     if (key == "corepar")
         return toString(engine.corepar);
+    if (key == "skip")
+        return toString(engine.skip);
     if (key == "subarrays")
         return std::to_string(subarrays);
     if (key == "counter-update")

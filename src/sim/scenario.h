@@ -107,7 +107,9 @@ struct ScenarioConfig
      * shard window (auto = on), `steal` selects work-stealing task
      * dispatch (auto = on whenever a pool exists), `corepar` also
      * threads the cores (auto = off; deterministic but not
-     * bit-identical to the serial core model under MSHR saturation).
+     * bit-identical to the serial core model under MSHR saturation),
+     * `skip` enables next-event cycle skipping in the shard loops
+     * (auto = on; bit-identical by the horizon contract).
      * None of them changes results with the thread count.
      */
     EngineOptions engine;

@@ -23,7 +23,7 @@ const char* const kUsage =
     "[--nbo N] [--nmit N] [--insts N] [--cores N] "
     "[--channels N] [--ranks N] [--mapping NAME] [--seed N] "
     "[--threads N|auto] [--recovery NAME] [--baseline] [--stats] "
-    "[--list] [--list-designs] [--list-attacks]\n"
+    "[--profile-engine] [--list] [--list-designs] [--list-attacks]\n"
     "                 [--config FILE] [--set key=value]... "
     "[--sweep key=values]... [--json] [--csv PATH]\n"
     "                 [--cache-dir PATH] [--isolate] "
@@ -33,7 +33,7 @@ const char* const kUsage =
     "in command-line order on top of --config FILE (an INI of\n"
     "key = value lines; keys: source mitigation backend psq_size nbo\n"
     "nmit recovery channels ranks mapping insts cores seed llc_mb\n"
-    "threads baseline r1 attack_cycles pipeline steal corepar\n"
+    "threads baseline r1 attack_cycles pipeline steal corepar skip\n"
     "subarrays counter-update cuq_depth).\n"
     "Sources: workload:NAME,\n"
     "trace:PATH, attack:NAME (--list-attacks shows each family's\n"
@@ -43,13 +43,15 @@ const char* const kUsage =
     "--sweep takes key=v1,v2 or key=lo:hi[:step] and runs the\n"
     "cross-product. --threads is the total budget, shared between\n"
     "sweep points and the per-channel shard engine; results are\n"
-    "bit-identical at every thread count. pipeline/steal/corepar\n"
-    "(auto|on|off) select the engine v2 layers (pipelined main phase,\n"
-    "work-stealing dispatch, threaded cores; see sim/system.h).\n"
+    "bit-identical at every thread count. pipeline/steal/corepar/skip\n"
+    "(auto|on|off) select the engine layers (pipelined main phase,\n"
+    "work-stealing dispatch, threaded cores, next-event cycle\n"
+    "skipping; see sim/system.h). --profile-engine prints the skip\n"
+    "efficiency counters (cycles skipped, wake sources) after a run.\n"
     "--json / --csv emit structured results.\n"
     "--cache-dir keeps one content-addressed JSON sidecar per point\n"
     "(named by the scenario hash, which excludes result-neutral keys:\n"
-    "threads/pipeline/steal); reruns and resumed grids reuse hits\n"
+    "threads/pipeline/steal/skip); reruns and resumed grids reuse hits\n"
     "byte-for-byte. --isolate forks one qprac_sim per sweep point so a\n"
     "crashing config becomes a recorded failed point instead of killing\n"
     "the grid. --hash (alias --dry-run) prints each resolved point's\n"
@@ -168,6 +170,50 @@ legacyRunReport(const ScenarioResult& res, bool dump_stats)
     out += t.toString();
     if (dump_stats)
         out += res.sim.stats.toString();
+    return out;
+}
+
+/**
+ * The --profile-engine view: cycle-skipping efficiency for the run.
+ * Engine observability only — everything here is derived from fields
+ * deliberately excluded from the result document (SimResult::skip,
+ * wall_ms), so it never perturbs byte-compared outputs. Cache hits and
+ * attack points report zeros (nothing ran).
+ */
+std::string
+engineProfileReport(const ScenarioResult& res)
+{
+    const ctrl::SkipStats& sk = res.sim.skip;
+    const double cycles = static_cast<double>(res.sim.cycles);
+    const double shard_cycles =
+        cycles * static_cast<double>(res.config.channels);
+    const double pct =
+        shard_cycles > 0
+            ? 100.0 * static_cast<double>(sk.cycles_skipped) / shard_cycles
+            : 0.0;
+    std::string out = "--- engine profile (cycle skipping) ---\n";
+    Table t({"counter", "value"});
+    t.addRow({"shard cycles",
+              Table::num(shard_cycles, 0)});
+    t.addRow({"cycles skipped",
+              Table::num(static_cast<double>(sk.cycles_skipped), 0)});
+    t.addRow({"skipped %", Table::num(pct, 1)});
+    t.addRow({"wakes: command-ready",
+              Table::num(static_cast<double>(sk.wakes_command), 0)});
+    t.addRow({"wakes: refresh",
+              Table::num(static_cast<double>(sk.wakes_refresh), 0)});
+    t.addRow({"wakes: recovery",
+              Table::num(static_cast<double>(sk.wakes_recovery), 0)});
+    t.addRow({"wakes: cuq-drain",
+              Table::num(static_cast<double>(sk.wakes_cuq), 0)});
+    t.addRow({"wakes: mailbox",
+              Table::num(static_cast<double>(sk.wakes_mailbox), 0)});
+    t.addRow({"wakes: epoch-boundary",
+              Table::num(static_cast<double>(sk.wakes_epoch), 0)});
+    if (res.sim.wall_ms > 0.0)
+        t.addRow({"sim cycles/sec",
+                  Table::num(res.sim.simCyclesPerSec(), 0)});
+    out += t.toString();
     return out;
 }
 
@@ -336,6 +382,18 @@ sweepJson(const ScenarioConfig& base,
         // lookup cost and sim_cycles_per_sec is 0 (nothing ran).
         w.key("wall_ms").value(point.wall_ms);
         w.key("sim_cycles_per_sec").value(point.sim_cycles_per_sec);
+        // Skip-efficiency observability, same contract as the timing
+        // fields (zeros for attack points and cache hits).
+        const ctrl::SkipStats& sk = point.result.sim.skip;
+        w.key("cycles_skipped").value(sk.cycles_skipped);
+        w.key("wake_reasons").beginObject();
+        w.key("command_ready").value(sk.wakes_command);
+        w.key("refresh").value(sk.wakes_refresh);
+        w.key("recovery").value(sk.wakes_recovery);
+        w.key("cuq_drain").value(sk.wakes_cuq);
+        w.key("mailbox").value(sk.wakes_mailbox);
+        w.key("epoch_boundary").value(sk.wakes_epoch);
+        w.endObject();
         w.endObject();
     }
     w.endArray();
@@ -426,6 +484,7 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
     std::string csv_path;
     std::string cache_dir;
     bool dump_stats = false;
+    bool profile_engine = false;
     bool json = false;
     bool isolate = false;
     bool hash_only = false;
@@ -511,6 +570,8 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
             hash_only = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--profile-engine") {
+            profile_engine = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--list") {
@@ -620,6 +681,8 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
         *out += attackRunReport(res);
     else
         *out += legacyRunReport(res, dump_stats);
+    if (profile_engine)
+        *out += engineProfileReport(res);
     if (!csv_path.empty()) {
         CsvWriter csv(csv_path, ScenarioResult::csvHeader());
         csv.addRow(res.csvRow());

@@ -9,8 +9,10 @@ namespace {
 
 /**
  * Bumping this tag re-keys the whole cache; see the header contract.
- * v1: all ScenarioConfig keys except threads/pipeline/steal, corepar
- * normalized auto -> off. The counter-architecture keys (subarrays,
+ * v1: all ScenarioConfig keys except threads/pipeline/steal/skip,
+ * corepar normalized auto -> off. (Excluded keys are never serialized,
+ * so adding `skip` in PR 9 changed no canonical key and needed no tag
+ * bump.) The counter-architecture keys (subarrays,
  * counter-update, cuq_depth) serialize only when counter-update is not
  * inline: with inline updates they cannot affect any result, and
  * omitting them keeps every pre-subarray cache entry and golden hash
@@ -53,7 +55,7 @@ const std::vector<std::string>&
 scenarioHashExcludedKeys()
 {
     static const std::vector<std::string> keys = {"threads", "pipeline",
-                                                  "steal"};
+                                                  "steal", "skip"};
     return keys;
 }
 

@@ -7,11 +7,12 @@
  * serialization (the same canonical forms the INI round-trip pins),
  * restricted to the keys that can change simulation *results*:
  *
- *  - `threads`, `pipeline` and `steal` are excluded. The engine
- *    guarantees (and the determinism suite pins) that thread counts
- *    and the v1/v2 schedule choice are bit-identical, so a result
- *    computed at threads=4 with the pipelined engine is the same
- *    result at threads=1 on the alternating engine.
+ *  - `threads`, `pipeline`, `steal` and `skip` are excluded. The
+ *    engine guarantees (and the determinism suite pins) that thread
+ *    counts, the v1/v2 schedule choice and cycle skipping are
+ *    bit-identical, so a result computed at threads=4 with the
+ *    pipelined skipping engine is the same result at threads=1 on the
+ *    dense alternating engine.
  *  - `corepar` IS hashed, because the threaded-core model is
  *    deterministic but not bit-identical to the serial core model
  *    (MSHR-saturation handling diverges); its `auto` spelling is

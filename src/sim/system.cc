@@ -108,6 +108,10 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
         pool_ = std::make_unique<WorkerPool>(degree);
     steal_ = cfg_.engine.steal == EngineToggle::On ||
              (cfg_.engine.steal == EngineToggle::Auto && pool_ != nullptr);
+    // Cycle skipping is bit-identical to dense ticking (the horizon
+    // contract, ctrl/memory_system.h), so auto = on.
+    skip_ = cfg_.engine.skip != EngineToggle::Off;
+    memory_->setCycleSkipping(skip_);
 
     for (int i = 0; i < cfg_.num_cores; ++i)
         cores_.push_back(std::make_unique<cpu::O3Core>(
@@ -392,6 +396,7 @@ System::run()
     r.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+    r.skip = memory_->skipStats(); // engine-only, like wall_ms
     return r;
 }
 

@@ -80,6 +80,11 @@ struct EngineOptions
     /** Threaded cores (batched replay). Auto = off: the mode is
      * deterministic but not bit-identical to the serial core model. */
     EngineToggle corepar = EngineToggle::Auto;
+    /** Next-event cycle skipping in the shard loops (ctrl/
+     * memory_system.h). Auto = on: the command sequence is
+     * bit-identical to dense ticking by the horizon contract, so only
+     * wall-clock changes — like threads, the key is hash-excluded. */
+    EngineToggle skip = EngineToggle::Auto;
 };
 
 /**
@@ -140,6 +145,15 @@ struct SimResult
     double simCyclesPerSec() const;
 
     /**
+     * Cycle-skipping efficiency counters (ctrl::SkipStats). Like
+     * wall_ms these depend on the engine configuration (skip mode,
+     * window lengths), not on the simulated machine, so they are kept
+     * out of toJson()/stats; sweeps emit them beside the result and
+     * `qprac_sim --profile-engine` prints them.
+     */
+    ctrl::SkipStats skip;
+
+    /**
      * Structured emission: one JSON object with the aggregate metrics
      * (cycles, ipc_sum, rbmpki, alerts_per_trefi, acts), the per-core
      * IPCs and the full stat set. Part of the scenario API's single
@@ -171,6 +185,7 @@ class System
     bool pipelined() const { return pipeline_; }
     bool stealing() const { return steal_; }
     bool coreParallel() const { return corepar_; }
+    bool skipping() const { return skip_; }
     int poolDegree() const { return pool_ ? pool_->degree() : 1; }
 
   private:
@@ -192,6 +207,7 @@ class System
     bool pipeline_ = false; ///< resolved cfg_.engine.pipeline
     bool steal_ = false;    ///< resolved cfg_.engine.steal
     bool corepar_ = false;  ///< resolved cfg_.engine.corepar
+    bool skip_ = false;     ///< resolved cfg_.engine.skip
     Cycle step_ = 1; ///< pipelined/corepar window length
     /** corepar: per-core request batches consumed by replayWindow. */
     std::vector<std::vector<cpu::SharedLlc::CoreRequest>> batches_;

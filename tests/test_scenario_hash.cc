@@ -73,15 +73,19 @@ TEST(ScenarioHash, ResultNeutralKeysNeverMoveTheHash)
     EXPECT_EQ(scenarioHash(withSets({{"threads", "1"}})), h);
     EXPECT_EQ(scenarioHash(withSets({{"pipeline", "on"}})), h);
     EXPECT_EQ(scenarioHash(withSets({{"steal", "off"}})), h);
+    EXPECT_EQ(scenarioHash(withSets({{"skip", "on"}})), h);
+    EXPECT_EQ(scenarioHash(withSets({{"skip", "off"}})), h);
     EXPECT_EQ(scenarioHash(withSets({{"threads", "8"},
                                      {"pipeline", "off"},
-                                     {"steal", "on"}})),
+                                     {"steal", "on"},
+                                     {"skip", "off"}})),
               h);
     // ...and the canonical key never even mentions them.
     const std::string key = scenarioCanonicalKey(base);
     EXPECT_EQ(key.find("threads="), std::string::npos) << key;
     EXPECT_EQ(key.find("pipeline="), std::string::npos) << key;
     EXPECT_EQ(key.find("steal="), std::string::npos) << key;
+    EXPECT_EQ(key.find("skip="), std::string::npos) << key;
 }
 
 TEST(ScenarioHash, CoreparIsHashedWithAutoNormalizedToOff)

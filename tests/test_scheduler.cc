@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "ctrl/scheduler.h"
 
 using namespace qprac;
@@ -42,11 +44,10 @@ read(int bank, int row, Cycle arrive)
 }
 
 SchedConstraints
-open_cons(int ranks = 1)
+open_cons()
 {
-    SchedConstraints c;
-    c.rank_act_blocked.assign(static_cast<std::size_t>(ranks), 0);
-    return c;
+    // Default constraints: no rank block vector (nullptr = unblocked).
+    return SchedConstraints{};
 }
 
 } // namespace
@@ -126,8 +127,9 @@ TEST(Scheduler, ActBlockedByRankRefresh)
     DramDevice dev(org(), TimingParams::ddr5Prac());
     RequestQueue q(8);
     q.push(read(0, 100, 0));
+    std::vector<char> blocked(1, 1);
     SchedConstraints cons = open_cons();
-    cons.rank_act_blocked[0] = 1;
+    cons.rank_act_blocked = &blocked;
     auto d = pickFrFcfs(q, false, dev, cons, 0);
     EXPECT_EQ(d.kind, SchedDecision::Kind::None);
 }
