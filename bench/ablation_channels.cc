@@ -114,10 +114,9 @@ main(int argc, char** argv)
                 perf.push_back(norm_perf(p));
                 alerts.push_back(p.result.sim.alerts_per_trefi);
             }
-            double g = geomean(perf);
-            double slow = 100.0 * (1.0 - g);
-            t.addRow({ch, design, Table::num(g, 4),
-                      Table::num(slow < 0 ? 0.0 : slow, 2),
+            bench::SeriesSummary s = bench::summarizeSeries(perf);
+            t.addRow({ch, design, Table::num(s.geomean, 4),
+                      Table::num(bench::slowdownPct(s.geomean), 2),
                       Table::num(mean(alerts), 4)});
         }
     }

@@ -8,6 +8,7 @@
 #ifndef QPRAC_BENCH_BENCH_COMMON_H
 #define QPRAC_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,6 +19,7 @@
 #include "common/json.h"
 #include "common/log.h"
 #include "common/parse.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 #include "sim/result_cache.h"
@@ -209,6 +211,60 @@ sweepWorkloads()
     return out;
 }
 
+/**
+ * Summary of one bench series, computed with the shared common/stats
+ * helpers so every table and the obs::Histogram trace metrics agree on
+ * one mean/percentile rule (see percentileRank).
+ */
+struct SeriesSummary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double geomean = 0.0; ///< 0 when any value is non-positive
+    double p50 = 0.0;
+    double p95 = 0.0;
+};
+
+inline SeriesSummary
+summarizeSeries(std::vector<double> values)
+{
+    SeriesSummary s;
+    s.n = values.size();
+    if (values.empty())
+        return s;
+    s.mean = qprac::mean(values);
+    bool positive = true;
+    for (double v : values)
+        positive = positive && v > 0.0;
+    s.geomean = positive ? qprac::geomean(values) : 0.0;
+    std::sort(values.begin(), values.end());
+    s.p50 = percentileSorted(values, 50.0);
+    s.p95 = percentileSorted(values, 95.0);
+    return s;
+}
+
+/** Normalized-performance geomean -> slowdown %, clamped at 0 (the
+ * paper's tables never report speedups for a mitigation). */
+inline double
+slowdownPct(double geomean_norm_perf)
+{
+    double slow = 100.0 * (1.0 - geomean_norm_perf);
+    return slow < 0.0 ? 0.0 : slow;
+}
+
+/** Aggregate (add semantics) the stat sets of every successful sweep
+ * point — StatSet::merge over the grid, e.g. for suite-wide command or
+ * alert totals. */
+inline StatSet
+mergedStats(const std::vector<sim::SweepPointResult>& points)
+{
+    StatSet out;
+    for (const auto& p : points)
+        if (!p.failed)
+            out.merge(p.result.sim.stats);
+    return out;
+}
+
 /** Mean slowdown in percent over the memory-intensive subset only. */
 inline double
 intensiveSlowdownPct(const std::vector<sim::WorkloadRow>& rows, int idx,
@@ -221,8 +277,7 @@ intensiveSlowdownPct(const std::vector<sim::WorkloadRow>& rows, int idx,
                 row.designs[static_cast<std::size_t>(idx)].norm_perf);
     if (values.empty())
         return 0.0;
-    double slow = 100.0 * (1.0 - geomean(values));
-    return slow < 0.0 ? 0.0 : slow;
+    return slowdownPct(summarizeSeries(std::move(values)).geomean);
 }
 
 } // namespace qprac::bench

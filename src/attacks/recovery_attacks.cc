@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace qprac::attacks {
 
@@ -36,6 +37,10 @@ class RecoveryDriver
                       cfg.attack_banks <= cfg.org.banksPerRank(),
                   "attack_banks out of range");
         attacker_.resize(static_cast<std::size_t>(cfg.attack_banks));
+        if (cfg.recorder) {
+            mem_.setEventRecorder(cfg.recorder);
+            driver_sink_ = cfg.recorder->driverSink();
+        }
     }
 
     ctrl::MemorySystem& memory() { return mem_; }
@@ -51,10 +56,23 @@ class RecoveryDriver
         // The probe pool is tiny versus the 64-entry read queue; a
         // full queue would itself be recovery-induced backpressure,
         // so a dropped probe is simply skipped, never retried.
+        //
+        // Probe events land on the recorder's driver lane, stamped at
+        // issue with the measured latency — this driver runs the
+        // serial tick path, so completion order is the delivery order
+        // and the lane stays single-writer.
+        obs::EventSink* sink = driver_sink_;
+        const int channel = t.channel;
         mem_.enqueueRead(mapper_.encode(dec), dec, /*source=*/1,
-                         [stats, now](Cycle done) {
+                         [stats, now, sink, channel](Cycle done) {
                              ++stats->probes;
                              stats->latency_sum += done - now;
+                             if (sink)
+                                 sink->record(
+                                     obs::kAttack, now, "probe",
+                                     "channel", channel, "latency",
+                                     static_cast<std::int64_t>(done -
+                                                               now));
                          },
                          now);
     }
@@ -116,6 +134,7 @@ class RecoveryDriver
     dram::AddressMapper mapper_;
     ctrl::MemorySystem mem_;
     std::vector<AttackerBank> attacker_;
+    obs::EventSink* driver_sink_ = nullptr;
     std::uint64_t attacker_acts_ = 0;
 };
 

@@ -34,6 +34,10 @@
 #include "dram/counter_update.h"
 #include "dram/timing.h"
 
+namespace qprac::obs {
+class EventRecorder;
+} // namespace qprac::obs
+
 namespace qprac::attacks {
 
 /** Shared driver parameters for the recovery attack family. */
@@ -54,6 +58,11 @@ struct RecoveryAttackConfig
     int carousel_rows = 16;  ///< attacker row rotation per bank
     int attack_banks = 1;    ///< banks the attacker hammers (dos: many)
     int victim_rows = 64;    ///< victim probe row pool (stays << NBO)
+
+    /** Observability hub (may be null). The memory system's shards get
+     * their event lanes; victim probe completions land on the driver
+     * lane as `attack` events. Result-neutral. */
+    obs::EventRecorder* recorder = nullptr;
 };
 
 /** Latency accumulator for one victim probe target and phase. */

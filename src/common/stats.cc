@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -17,6 +18,13 @@ void
 StatSet::add(const std::string& name, double value)
 {
     stats_[name] += value;
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.stats_)
+        stats_[name] += value;
 }
 
 double
@@ -82,6 +90,40 @@ mean(const std::vector<double>& values)
     for (double v : values)
         sum += v;
     return sum / static_cast<double>(values.size());
+}
+
+std::size_t
+percentileRank(std::size_t n, double p)
+{
+    if (n == 0)
+        return 0;
+    if (p <= 0.0)
+        return 0;
+    if (p >= 100.0)
+        return n - 1;
+    // Nearest rank: smallest index i with (i+1)/n >= p/100.
+    double rank = std::ceil(p / 100.0 * static_cast<double>(n));
+    if (rank < 1.0)
+        rank = 1.0;
+    std::size_t idx = static_cast<std::size_t>(rank) - 1;
+    return idx >= n ? n - 1 : idx;
+}
+
+double
+percentileSorted(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    return sorted[percentileRank(sorted.size(), p)];
+}
+
+double
+percentileOf(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, p);
 }
 
 } // namespace qprac

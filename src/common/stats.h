@@ -25,6 +25,9 @@ class StatSet
     /** Add to a stat (creates at 0 if absent). */
     void add(const std::string& name, double value);
 
+    /** Accumulate every stat of @p other into this set (add semantics). */
+    void merge(const StatSet& other);
+
     /** Value of a stat; fatal() if absent (catches typos in benches). */
     double get(const std::string& name) const;
 
@@ -51,6 +54,20 @@ double geomean(const std::vector<double>& values);
 
 /** Arithmetic mean; 0 for an empty series. */
 double mean(const std::vector<double>& values);
+
+/**
+ * Nearest-rank percentile index for a series of @p n elements:
+ * 0-based index of the element holding the p-th percentile
+ * (p in [0, 100]). This one rule is shared by percentileSorted() and
+ * obs::Histogram so text reports and trace metrics agree.
+ */
+std::size_t percentileRank(std::size_t n, double p);
+
+/** Nearest-rank percentile of an ascending-sorted series (0 if empty). */
+double percentileSorted(const std::vector<double>& sorted, double p);
+
+/** Sorts a copy, then percentileSorted(). */
+double percentileOf(std::vector<double> values, double p);
 
 } // namespace qprac
 

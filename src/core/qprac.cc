@@ -1,9 +1,11 @@
 #include "core/qprac.h"
 
+#include <algorithm>
 #include <type_traits>
 
 #include "common/log.h"
 #include "dram/prac_counters.h"
+#include "obs/obs.h"
 
 namespace qprac::core {
 
@@ -266,20 +268,22 @@ QpracT<Backend>::onRfm(int flat_bank, dram::RfmScope scope,
                        bool alerting_bank, Cycle cycle)
 {
     (void)scope;
-    (void)cycle;
     // QPRAC-NoOp mitigates only the alerting bank; opportunistic QPRAC
     // mitigates the top entry in every covered bank (§III-D1).
     if (!config_.opportunistic && !alerting_bank)
         return;
-    if (mitigateTop(flat_bank))
+    if (mitigateTop(flat_bank)) {
         ++stats_.rfm_mitigations;
+        if (sink_)
+            sink_->record(obs::kPsq, cycle, "psq-service", "bank",
+                          flat_bank, "alerting", alerting_bank ? 1 : 0);
+    }
 }
 
 template <class Backend>
 void
 QpracT<Backend>::onRefresh(int flat_bank, Cycle cycle)
 {
-    (void)cycle;
     if (config_.proactive == ProactiveMode::None)
         return;
     int& seen = refs_seen_[static_cast<std::size_t>(flat_bank)];
@@ -288,8 +292,12 @@ QpracT<Backend>::onRefresh(int flat_bank, Cycle cycle)
     seen = 0;
     bool require = config_.proactive == ProactiveMode::EnergyAware;
     if (mitigateTop(flat_bank, require,
-                    static_cast<ActCount>(config_.npro)))
+                    static_cast<ActCount>(config_.npro))) {
         ++stats_.proactive_mitigations;
+        if (sink_)
+            sink_->record(obs::kPsq, cycle, "psq-proactive", "bank",
+                          flat_bank);
+    }
 }
 
 template <class Backend>
@@ -297,6 +305,27 @@ const Backend&
 QpracT<Backend>::psq(int flat_bank) const
 {
     return psqs_[static_cast<std::size_t>(flat_bank)];
+}
+
+template <class Backend>
+int
+QpracT<Backend>::queueOccupancy() const
+{
+    int peak = 0;
+    for (const Backend& psq : psqs_)
+        peak = std::max(peak, psq.size());
+    return peak;
+}
+
+template <class Backend>
+std::int64_t
+QpracT<Backend>::maxTrackedCount() const
+{
+    std::int64_t top = 0;
+    for (int b = 0; b < static_cast<int>(psqs_.size()); ++b)
+        top = std::max(top,
+                       static_cast<std::int64_t>(topCount(b)));
+    return top;
 }
 
 template <class Backend>

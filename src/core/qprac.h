@@ -103,6 +103,8 @@ class QpracT final : public dram::RowhammerMitigation
     }
     const dram::MitigationStats& stats() const override { return stats_; }
     std::string name() const override { return config_.label(); }
+    int queueOccupancy() const override;
+    std::int64_t maxTrackedCount() const override;
 
     const QpracConfig& config() const { return config_; }
 

@@ -1,6 +1,7 @@
 #include "ctrl/abo.h"
 
 #include "ctrl/refresh.h"
+#include "obs/obs.h"
 
 namespace qprac::ctrl {
 
@@ -13,15 +14,25 @@ AboEngine::AboEngine(const AboConfig& config,
 }
 
 void
+AboEngine::setEventSink(obs::EventSink* sink)
+{
+    sink_ = sink;
+    if (bank_)
+        bank_->setEventSink(sink);
+}
+
+void
 AboEngine::tick(dram::DramDevice& dev, Cycle now)
 {
     // Isolated policies: alerts are handled per bank; the channel-wide
     // machine below still serves the policy RFM pump (Mithril/PrIDE).
     bank_rfm_this_tick_ = false;
     if (!policy_->channelScope()) {
-        if (!bank_)
+        if (!bank_) {
             bank_ = std::make_unique<BankRecoveryEngine>(
                 *policy_, t_, cfg_.nmit, cfg_.scope, dev.numBanks());
+            bank_->setEventSink(sink_);
+        }
         if (cfg_.enabled)
             bank_rfm_this_tick_ = bank_->tick(dev, refresh_, now);
     }
@@ -35,19 +46,27 @@ AboEngine::tick(dram::DramDevice& dev, Cycle now)
                 dev.mitigation() ? dev.mitigation()->alertingBank() : -1;
             policy_mode_ = false;
             state_ = State::Window;
+            recovery_began_ = now;
             window_end_ = now + static_cast<Cycle>(t_.tABO_window);
             window_acts_ = 0;
+            if (sink_)
+                sink_->record(obs::kAbo, now, "alert", "bank",
+                              alert_bank_);
         } else if (policy_pending_) {
             policy_pending_ = false;
             policy_mode_ = true;
             alert_bank_ = -1;
             state_ = State::Quiesce;
+            recovery_began_ = now;
             quiesce_since_ = now;
         }
         break;
 
       case State::Window:
         if (window_acts_ >= t_.abo_act_max || now >= window_end_) {
+            if (sink_)
+                sink_->recordSpan(obs::kAbo, recovery_began_, now,
+                                  "abo-window", "acts", window_acts_);
             state_ = State::Quiesce;
             quiesce_since_ = now;
         }
@@ -58,6 +77,9 @@ AboEngine::tick(dram::DramDevice& dev, Cycle now)
         for (int r = 0; r < dev.organization().ranks && all_idle; ++r)
             all_idle = dev.rankIdle(r, now);
         if (all_idle) {
+            if (sink_)
+                sink_->recordSpan(obs::kAbo, quiesce_since_, now,
+                                  "abo-quiesce");
             state_ = State::Pumping;
             rfms_left_ = policy_mode_ ? 1 : cfg_.nmit;
             next_rfm_at_ = now;
@@ -86,6 +108,11 @@ AboEngine::tick(dram::DramDevice& dev, Cycle now)
         } else {
             if (!policy_mode_)
                 dev.alertServiced(now);
+            if (sink_)
+                sink_->recordSpan(obs::kAbo, recovery_began_, now,
+                                  policy_mode_ ? "policy-recovery"
+                                               : "abo-recovery",
+                                  "bank", alert_bank_);
             policy_mode_ = false;
             state_ = State::Idle;
         }

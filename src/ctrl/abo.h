@@ -23,6 +23,10 @@
 #include "ctrl/recovery/recovery_policy.h"
 #include "dram/dram_device.h"
 
+namespace qprac::obs {
+class EventSink;
+} // namespace qprac::obs
+
 namespace qprac::ctrl {
 
 class RefreshScheduler;
@@ -52,6 +56,9 @@ class AboEngine
     {
         refresh_ = refresh;
     }
+
+    /** Attach an event sink (abo/recovery categories; may be null). */
+    void setEventSink(obs::EventSink* sink);
 
     /** Advance the state machine; may issue RFM commands. */
     void tick(dram::DramDevice& dev, Cycle now);
@@ -159,8 +166,10 @@ class AboEngine
     /** Per-bank machines (isolated policies; sized on first tick). */
     std::unique_ptr<BankRecoveryEngine> bank_;
     const RefreshScheduler* refresh_ = nullptr;
+    obs::EventSink* sink_ = nullptr;
     bool bank_rfm_this_tick_ = false;
     State state_ = State::Idle;
+    Cycle recovery_began_ = 0; ///< alert/pump entry cycle (for obs spans)
     Cycle window_end_ = 0;
     Cycle quiesce_since_ = 0;
     int window_acts_ = 0;

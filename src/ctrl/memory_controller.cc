@@ -1,6 +1,7 @@
 #include "ctrl/memory_controller.h"
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace qprac::ctrl {
 
@@ -57,6 +58,17 @@ MemoryController::MemoryController(dram::DramDevice& dev,
         recovery_act_blocked_.assign(banks, 0);
         recovery_cas_blocked_.assign(banks, 0);
     }
+}
+
+void
+MemoryController::setObservability(obs::EventSink* sink,
+                                   obs::ShardMetrics* metrics)
+{
+    sink_ = sink;
+    metrics_ = metrics;
+    dev_.setEventSink(sink);
+    abo_.setEventSink(sink);
+    refresh_.setEventSink(sink);
 }
 
 bool
@@ -188,6 +200,8 @@ MemoryController::scheduleQueue(RequestQueue& q, bool is_write,
             Cycle done = dev_.issueRead(r.flat_bank, now);
             ++stats_.reads_done;
             stats_.read_latency_sum += done - r.arrive;
+            if (metrics_)
+                metrics_->read_latency.record(done - r.arrive);
             if (r.on_complete) {
                 if (completion_sink_)
                     completion_sink_(done, std::move(r.on_complete));

@@ -18,6 +18,11 @@
 #include "dram/dram_device.h"
 #include "mitigations/rfm_policy.h"
 
+namespace qprac::obs {
+class EventSink;
+struct ShardMetrics;
+} // namespace qprac::obs
+
 namespace qprac::ctrl {
 
 /** Controller configuration. */
@@ -97,6 +102,13 @@ class MemoryController
     }
 
     /**
+     * Attach the shard's observability lanes (either may be null).
+     * Forwards the event sink to the ABO engine, the refresh scheduler
+     * and the per-bank recovery machinery.
+     */
+    void setObservability(obs::EventSink* sink, obs::ShardMetrics* metrics);
+
+    /**
      * Enqueue a read; @p on_complete fires at data return.
      * @return false when the read queue is full (caller retries).
      */
@@ -141,6 +153,7 @@ class MemoryController
     bool readQueueFull() const { return reads_.full(); }
     bool writeQueueFull() const { return writes_.full(); }
     int readQueueCapacity() const { return reads_.capacity(); }
+    int readQueueDepth() const { return reads_.size(); }
 
     CtrlStats stats() const;
     const AboEngine& abo() const { return abo_; }
@@ -165,6 +178,8 @@ class MemoryController
     dram::DramDevice& dev_;
     ControllerConfig cfg_;
     CompletionSink completion_sink_;
+    obs::EventSink* sink_ = nullptr;
+    obs::ShardMetrics* metrics_ = nullptr;
     RequestQueue reads_;
     RequestQueue writes_;
     bool drain_mode_ = false;

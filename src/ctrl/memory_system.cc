@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace qprac::ctrl {
 
@@ -223,8 +224,46 @@ MemorySystem::ingest(Shard& s, Cycle now)
 }
 
 void
+MemorySystem::sampleShard(Shard& s, Cycle at)
+{
+    // Land buffered ACT notifications before reading mitigation state:
+    // batching is delivery-timing transparent (every decision point
+    // flushes first), but the lazy flush points differ between the
+    // dense and next-event loops — forcing the flush here pins the
+    // sampled occupancy/count to "all ACTs issued before this tick",
+    // identical in every engine mode.
+    s.device->flushMitigationActs();
+    const dram::RowhammerMitigation* mit = s.mitigation.get();
+    // Column order must match obs::metricsTrackNames().
+    s.metrics->series.append(
+        at,
+        {mit ? static_cast<std::int64_t>(mit->queueOccupancy()) : -1,
+         mit ? mit->maxTrackedCount() : -1,
+         static_cast<std::int64_t>(s.device->actsSinceAlertService()),
+         static_cast<std::int64_t>(s.device->cuqOccupancy()),
+         static_cast<std::int64_t>(s.controller->readQueueDepth())});
+}
+
+void
+MemorySystem::sampleUpTo(Shard& s, Cycle limit)
+{
+    obs::ShardMetrics& m = *s.metrics;
+    while (m.next_sample_at <= limit) {
+        sampleShard(s, m.next_sample_at);
+        m.next_sample_at += m.interval;
+    }
+}
+
+void
 MemorySystem::tickShard(Shard& s, Cycle now)
 {
+    // Samples stamped in (last executed tick, now] fire here, before
+    // the tick mutates anything. Skipped spans change no sampled state
+    // (no commands, no ingest — both are wakes), so a sample fired
+    // "late" after a jump reads exactly the values dense execution
+    // would have read at its stamp.
+    if (s.metrics)
+        sampleUpTo(s, now);
     ingest(s, now);
     s.controller->tick(now);
 }
@@ -291,7 +330,11 @@ MemorySystem::runShard(int channel, Cycle begin, Cycle end,
             s.skip.cycles_skipped += to - u;
             u = to;
             if (u >= end) {
-                // The window closed before the horizon.
+                // The window closed before the horizon. Samples the
+                // jump skipped over still belong to this window (dense
+                // execution fires them at ticks <= end - 1).
+                if (s.metrics)
+                    sampleUpTo(s, end - 1);
                 s.skip.note(WakeSource::EpochBoundary);
                 break;
             }
@@ -338,6 +381,19 @@ MemorySystem::tick(Cycle now)
         s.epoch_end = now + 1;
         s.wake_at = 0; // caller owns the loop: no horizon to trust
         tickShard(s, now);
+    }
+}
+
+void
+MemorySystem::setEventRecorder(obs::EventRecorder* recorder)
+{
+    for (int c = 0; c < channels(); ++c) {
+        Shard& s = shards_[static_cast<std::size_t>(c)];
+        obs::EventSink* sink = recorder ? recorder->sink(c) : nullptr;
+        s.metrics = recorder ? recorder->metrics(c) : nullptr;
+        s.controller->setObservability(sink, s.metrics);
+        if (s.mitigation)
+            s.mitigation->setEventSink(sink);
     }
 }
 

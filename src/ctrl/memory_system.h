@@ -53,6 +53,11 @@
 #include "dram/dram_device.h"
 #include "dram/mitigation_iface.h"
 
+namespace qprac::obs {
+class EventRecorder;
+struct ShardMetrics;
+} // namespace qprac::obs
+
 namespace qprac::ctrl {
 
 /** One LLC->shard request crossing the epoch boundary. */
@@ -206,6 +211,18 @@ class MemorySystem
     /** Land buffered ACT notifications on every channel's mitigation. */
     void flushMitigationActs() const;
 
+    // --- Observability ---------------------------------------------------
+    /**
+     * Attach (or detach, with nullptr) a run-wide recorder: each
+     * shard's event lane goes to its controller chain (device, ABO,
+     * refresh, per-bank recovery) and mitigation, and the shard starts
+     * driving its epoch-aligned metrics sampler. Recording points are
+     * command-/transition-synchronized and samples fire at fixed
+     * stamps, so traces and series are byte-identical across
+     * threads/pipeline/skip — see obs/obs.h.
+     */
+    void setEventRecorder(obs::EventRecorder* recorder);
+
     // --- Cycle skipping (next-event shard loops) -------------------------
     /**
      * Enable/disable horizon-bounded jumps in runShard. With skipping
@@ -273,6 +290,9 @@ class MemorySystem
         Cycle wake_at = 0;
         WakeSource wake_why = WakeSource::CommandReady;
         SkipStats skip; ///< this shard's skip counters
+        /** Metrics sampler state (owned by the EventRecorder; null =
+         * metrics off). Written only from this shard's tick loop. */
+        obs::ShardMetrics* metrics = nullptr;
     };
 
     Shard& shard(int channel);
@@ -280,6 +300,12 @@ class MemorySystem
 
     void ingest(Shard& s, Cycle now);
     void tickShard(Shard& s, Cycle now);
+
+    /** Append one metrics row stamped @p at from @p s's current state. */
+    void sampleShard(Shard& s, Cycle at);
+
+    /** Fire every sample scheduled at or before @p limit. */
+    void sampleUpTo(Shard& s, Cycle limit);
 
     /** Earliest cycle a staged submit could be ingested (head stamps
      * + 1), kNeverCycle when both inbound mailboxes are empty. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace qprac::ctrl {
 
@@ -149,6 +150,10 @@ BankRecoveryEngine::tick(dram::DramDevice& dev,
             if (any_alert && dev.bankAlertAsserted(b)) {
                 ++alerts_;
                 m.state = State::Window;
+                m.alert_began = now;
+                if (sink_)
+                    sink_->record(obs::kRecovery, now, "bank-alert",
+                                  "bank", b);
                 m.window_end =
                     now + static_cast<Cycle>(t_.tABO_window);
                 m.window_acts = 0;
@@ -199,6 +204,10 @@ BankRecoveryEngine::tick(dram::DramDevice& dev,
                 rfm_issued = true;
             } else {
                 dev.bankAlertServiced(b, now);
+                if (sink_)
+                    sink_->recordSpan(obs::kRecovery, m.alert_began, now,
+                                      "bank-recovery", "bank", b,
+                                      "concurrent", active_);
                 m.state = State::Idle;
                 --active_;
                 dirty = true;

@@ -30,6 +30,10 @@
 #include "ctrl/refresh.h"
 #include "dram/dram_device.h"
 
+namespace qprac::obs {
+class EventSink;
+} // namespace qprac::obs
+
 namespace qprac::ctrl {
 
 /** Per-bank recovery state machines (one per alerting bank). */
@@ -39,6 +43,9 @@ class BankRecoveryEngine
     BankRecoveryEngine(const RecoveryPolicy& policy,
                        const dram::TimingParams& timing, int nmit,
                        dram::RfmScope configured_scope, int num_banks);
+
+    /** Attach an event sink (recovery category; may be null). */
+    void setEventSink(obs::EventSink* sink) { sink_ = sink; }
 
     /**
      * Advance every machine; may issue at most one RFM. @p refresh
@@ -109,6 +116,7 @@ class BankRecoveryEngine
     struct BankState
     {
         State state = State::Idle;
+        Cycle alert_began = 0; ///< alert entry cycle (for obs spans)
         Cycle window_end = 0;
         Cycle quiesce_since = 0;
         int window_acts = 0;
@@ -139,6 +147,7 @@ class BankRecoveryEngine
     std::vector<char> act_blocked_;
     std::vector<char> cas_blocked_;
     std::vector<Cycle> quiesce_since_;
+    obs::EventSink* sink_ = nullptr;
     int active_ = 0;
     int peak_concurrent_ = 0;
 

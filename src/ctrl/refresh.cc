@@ -1,5 +1,7 @@
 #include "ctrl/refresh.h"
 
+#include "obs/obs.h"
+
 namespace qprac::ctrl {
 
 RefreshScheduler::RefreshScheduler(const dram::TimingParams& timing,
@@ -26,6 +28,12 @@ RefreshScheduler::tick(dram::DramDevice& dev, Cycle now)
         if (st.pending && dev.rankIdle(r, now)) {
             dev.issueRefresh(r, now);
             ++refs_issued_;
+            // The REF tRFC window itself is recorded by the device;
+            // this event measures how long the rank drain delayed it.
+            if (sink_)
+                sink_->record(
+                    obs::kRefresh, now, "ref-issue", "rank", r, "delay",
+                    static_cast<std::int64_t>(now - st.pending_since));
             st.pending = false;
             st.next_due += static_cast<Cycle>(t_.tREFI);
         }

@@ -13,6 +13,10 @@
 #include "common/types.h"
 #include "dram/dram_device.h"
 
+namespace qprac::obs {
+class EventSink;
+} // namespace qprac::obs
+
 namespace qprac::ctrl {
 
 /**
@@ -28,6 +32,9 @@ class RefreshScheduler
 {
   public:
     RefreshScheduler(const dram::TimingParams& timing, int ranks);
+
+    /** Attach an event sink (refresh category; may be null). */
+    void setEventSink(obs::EventSink* sink) { sink_ = sink; }
 
     /** Advance; issues REFs whose rank has become idle. */
     void tick(dram::DramDevice& dev, Cycle now);
@@ -60,6 +67,7 @@ class RefreshScheduler
 
     const dram::TimingParams& t_;
     std::vector<RankState> ranks_;
+    obs::EventSink* sink_ = nullptr;
     std::uint64_t refs_issued_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace qprac::dram {
 
@@ -265,9 +266,16 @@ DramDevice::issueAct(int flat_bank, int row, Cycle now)
         const Cycle stall =
             cuq_[static_cast<std::size_t>(flat_bank)].onActivate(row,
                                                                  now);
-        if (stall > 0)
+        if (stall > 0) {
             bank(flat_bank).stallRowCycle(stall);
+            if (sink_)
+                sink_->record(obs::kCuq, now, "cuq-stall", "bank",
+                              flat_bank, "stall",
+                              static_cast<std::int64_t>(stall));
+        }
     }
+    if (sink_)
+        sink_->record(obs::kCmd, now, "ACT", "bank", flat_bank, "row", row);
     if (mitigation_) {
         act_batch_.push_back({flat_bank, row, count, now});
         batch_max_count_ = std::max(batch_max_count_, count);
@@ -281,6 +289,8 @@ DramDevice::issuePre(int flat_bank, Cycle now)
 {
     bank(flat_bank).doPre(now);
     ++stats_.pres;
+    if (sink_)
+        sink_->record(obs::kCmd, now, "PRE", "bank", flat_bank);
 }
 
 Cycle
@@ -292,6 +302,8 @@ DramDevice::issueRead(int flat_bank, Cycle now)
         bankgroupOf(flat_bank), now);
     data_bus_free_ = now + t_.tCL + t_.tBL;
     ++stats_.reads;
+    if (sink_)
+        sink_->recordSpan(obs::kCmd, now, done, "RD", "bank", flat_bank);
     return done;
 }
 
@@ -304,6 +316,8 @@ DramDevice::issueWrite(int flat_bank, Cycle now)
         bankgroupOf(flat_bank), now);
     data_bus_free_ = now + t_.tCWL + t_.tBL;
     ++stats_.writes;
+    if (sink_)
+        sink_->recordSpan(obs::kCmd, now, done, "WR", "bank", flat_bank);
     return done;
 }
 
@@ -314,17 +328,26 @@ DramDevice::issueRefresh(int rank, Cycle now)
     flushMitigationActs();
     const int per_rank = org_.banksPerRank();
     const Cycle until = now + t_.tRFC;
+    int cuq_flushed = 0;
     for (int i = rank * per_rank; i < (rank + 1) * per_rank; ++i) {
         banks_[static_cast<std::size_t>(i)].block(until);
         // REF owns the bank for tRFC — long enough to flush every
         // pending counter write-back for free.
-        if (!cuq_.empty())
+        if (!cuq_.empty()) {
+            cuq_flushed += cuq_[static_cast<std::size_t>(i)].occupancy();
             cuq_[static_cast<std::size_t>(i)].onFlush(until);
+        }
         // Proactive mitigation opportunity in the REF shadow (§III-D2).
         if (mitigation_)
             mitigation_->onRefresh(i, now);
     }
     ++stats_.refs;
+    if (sink_) {
+        sink_->recordSpan(obs::kRefresh, now, until, "REF", "rank", rank);
+        if (cuq_flushed > 0)
+            sink_->record(obs::kCuq, now, "cuq-flush", "rank", rank,
+                          "drained", cuq_flushed);
+    }
 }
 
 Cycle
@@ -349,19 +372,38 @@ DramDevice::issueRfm(RfmScope scope, int alert_bank, Cycle now)
                    : scope == RfmScope::SameBank ? t_.tRFMsb
                                                  : t_.tRFMpb;
     until = now + duration;
+    int cuq_flushed = 0;
     for (int i = 0; i < numBanks(); ++i) {
         if (!covered(i))
             continue;
         QP_ASSERT(banks_[static_cast<std::size_t>(i)].idleAt(now),
                   "RFM requires covered banks to be precharged");
         banks_[static_cast<std::size_t>(i)].block(until);
-        if (!cuq_.empty())
+        if (!cuq_.empty()) {
+            cuq_flushed += cuq_[static_cast<std::size_t>(i)].occupancy();
             cuq_[static_cast<std::size_t>(i)].onFlush(until);
+        }
         if (mitigation_)
             mitigation_->onRfm(i, scope, i == alert_bank, now);
     }
     ++stats_.rfms;
+    if (sink_) {
+        sink_->recordSpan(obs::kRfm, now, until, "RFM", "scope",
+                          static_cast<int>(scope), "bank", alert_bank);
+        if (cuq_flushed > 0)
+            sink_->record(obs::kCuq, now, "cuq-flush", "bank", alert_bank,
+                          "drained", cuq_flushed);
+    }
     return until;
+}
+
+int
+DramDevice::cuqOccupancy() const
+{
+    int sum = 0;
+    for (const CounterUpdateQueue& q : cuq_)
+        sum += q.occupancy();
+    return sum;
 }
 
 CounterUpdateStats

@@ -23,6 +23,10 @@
 #include "dram/rank.h"
 #include "dram/timing.h"
 
+namespace qprac::obs {
+class EventSink;
+} // namespace qprac::obs
+
 namespace qprac::dram {
 
 /** Aggregate command counts for stats and the energy model. */
@@ -68,6 +72,9 @@ class DramDevice
 
     /** ABODelay in ACTs (paper Table I: equals Nmit). */
     void setAboDelay(int acts);
+
+    /** Attach an event sink (nullptr = tracing off, the default). */
+    void setEventSink(obs::EventSink* sink) { sink_ = sink; }
 
     const Organization& organization() const { return org_; }
     const TimingParams& timing() const { return t_; }
@@ -210,6 +217,16 @@ class DramDevice
 
     const DeviceStats& stats() const { return stats_; }
 
+    // --- Metrics sampling accessors (obs time-series) -------------------
+    /** Channel RAA proxy: ACTs since the last channel alert service. */
+    std::uint64_t actsSinceAlertService() const
+    {
+        return acts_total_ - acts_at_last_service_;
+    }
+
+    /** Summed live counter write-back queue occupancy (0 inline). */
+    int cuqOccupancy() const;
+
   private:
     Organization org_;
     TimingParams t_;
@@ -224,6 +241,7 @@ class DramDevice
     /** Per-bank counter write-back queues (empty in inline mode). */
     std::vector<CounterUpdateQueue> cuq_;
     RowhammerMitigation* mitigation_ = nullptr;
+    obs::EventSink* sink_ = nullptr;
 
     /** ACT notifications not yet delivered to the mitigation. */
     mutable std::vector<ActEvent> act_batch_;

@@ -17,6 +17,10 @@
 #include "common/stats.h"
 #include "common/types.h"
 
+namespace qprac::obs {
+class EventSink;
+} // namespace qprac::obs
+
 namespace qprac::dram {
 
 class PracCounters;
@@ -136,6 +140,27 @@ class RowhammerMitigation
 
     virtual const MitigationStats& stats() const = 0;
     virtual std::string name() const = 0;
+
+    // --- Observability (obs layer) --------------------------------------
+    /** Attach an event sink (nullptr = tracing off, the default). */
+    void setEventSink(obs::EventSink* sink) { sink_ = sink; }
+
+    /**
+     * Live tracker occupancy for the obs time-series sampler: the
+     * fullest per-bank service queue (QPRAC: max PSQ fill). -1 when
+     * the design has no queue to report.
+     */
+    virtual int queueOccupancy() const { return -1; }
+
+    /**
+     * Highest activation count the design currently tracks (QPRAC:
+     * max PSQ top across banks; MOAT: max tracked count). -1 when
+     * unknown.
+     */
+    virtual std::int64_t maxTrackedCount() const { return -1; }
+
+  protected:
+    obs::EventSink* sink_ = nullptr; ///< psq-category event lane
 };
 
 } // namespace qprac::dram

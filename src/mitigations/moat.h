@@ -12,6 +12,7 @@
 #ifndef QPRAC_MITIGATIONS_MOAT_H
 #define QPRAC_MITIGATIONS_MOAT_H
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,21 @@ class Moat : public dram::RowhammerMitigation
     }
     const dram::MitigationStats& stats() const override { return stats_; }
     std::string name() const override { return "MOAT"; }
+    int queueOccupancy() const override
+    {
+        // Single-entry queues: count the occupied ones.
+        int n = 0;
+        for (const Entry& e : entries_)
+            n += e.row != kNoRow ? 1 : 0;
+        return n;
+    }
+    std::int64_t maxTrackedCount() const override
+    {
+        std::int64_t top = 0;
+        for (const Entry& e : entries_)
+            top = std::max(top, static_cast<std::int64_t>(e.count));
+        return top;
+    }
 
     /** The tracked entry of one bank (kNoRow when empty). */
     int trackedRow(int flat_bank) const;

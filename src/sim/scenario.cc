@@ -17,6 +17,7 @@
 #include "core/service_queue.h"
 #include "dram/address.h"
 #include "mitigations/factory.h"
+#include "obs/obs.h"
 #include "sim/result_cache.h"
 #include "sim/scenario_hash.h"
 #include "sim/system.h"
@@ -84,7 +85,7 @@ ScenarioConfig::keys()
         "seed",     "llc_mb",     "threads",  "baseline",
         "r1",       "attack_cycles", "pipeline", "steal",
         "corepar",  "skip",       "subarrays",  "counter-update",
-        "cuq_depth",
+        "cuq_depth", "trace",     "trace-out",  "metrics-interval",
     };
     return k;
 }
@@ -253,6 +254,32 @@ ScenarioConfig::set(const std::string& key, const std::string& value,
     if (key == "cuq_depth")
         return parseIntInRange(value, 1, 4096, &cuq_depth) ||
                fail("expected an integer in [1, 4096]");
+    if (key == "trace") {
+        std::uint32_t mask = 0;
+        std::string mask_err;
+        if (!obs::parseCategoryMask(trimmed(value), &mask, &mask_err))
+            return fail(mask_err);
+        trace = obs::categoryMaskToString(mask);
+        return true;
+    }
+    if (key == "trace-out") {
+        trace_out = trimmed(value);
+        return true;
+    }
+    if (key == "metrics-interval") {
+        // 0 is spelled "off" so a config can't silently request a
+        // zero-period (every-cycle) sampler.
+        if (trimmed(value) == "off") {
+            metrics_interval = 0;
+            return true;
+        }
+        std::uint64_t v = 0;
+        if (!parseU64(value, &v) || v == 0 || v > 1'000'000'000)
+            return fail("expected 'off' or a cycle count in "
+                        "[1, 1000000000]");
+        metrics_interval = v;
+        return true;
+    }
     if (key == "pipeline")
         return parseEngineToggle(value, &engine.pipeline) ||
                fail("expected auto/on/off");
@@ -323,6 +350,13 @@ ScenarioConfig::get(const std::string& key) const
         return counter_update;
     if (key == "cuq_depth")
         return std::to_string(cuq_depth);
+    if (key == "trace")
+        return trace;
+    if (key == "trace-out")
+        return trace_out;
+    if (key == "metrics-interval")
+        return metrics_interval ? std::to_string(metrics_interval)
+                                : "off";
     fatal(strCat("ScenarioConfig::get: unknown key '", key, "'"));
 }
 
@@ -679,8 +713,9 @@ mentionsProactive(const std::string& mitigation)
 }
 
 StatSet
-runWaveScenario(const ScenarioConfig& cfg)
+runWaveScenario(const ScenarioConfig& cfg, obs::EventRecorder*)
 {
+    // Event-level model: no MemorySystem to instrument.
     attacks::WaveAttackConfig a;
     a.nbo = cfg.nbo;
     a.nmit = cfg.nmit;
@@ -701,7 +736,7 @@ runWaveScenario(const ScenarioConfig& cfg)
 }
 
 StatSet
-runPerfScenario(const ScenarioConfig& cfg)
+runPerfScenario(const ScenarioConfig& cfg, obs::EventRecorder*)
 {
     attacks::PerfAttackConfig a;
     a.nbo = cfg.nbo;
@@ -776,10 +811,12 @@ probeStatsTo(StatSet& s, const std::string& prefix,
 }
 
 StatSet
-runRfmProbeScenario(const ScenarioConfig& cfg)
+runRfmProbeScenario(const ScenarioConfig& cfg,
+                    obs::EventRecorder* recorder)
 {
-    attacks::RfmProbeResult r =
-        attacks::runRfmProbeAttack(recoveryAttackConfig(cfg, 1));
+    attacks::RecoveryAttackConfig a = recoveryAttackConfig(cfg, 1);
+    a.recorder = recorder;
+    attacks::RfmProbeResult r = attacks::runRfmProbeAttack(a);
     StatSet s;
     s.set("attack.alerts", static_cast<double>(r.alerts));
     s.set("attack.rfms", static_cast<double>(r.rfms));
@@ -794,10 +831,12 @@ runRfmProbeScenario(const ScenarioConfig& cfg)
 }
 
 StatSet
-runRecoveryDosScenario(const ScenarioConfig& cfg)
+runRecoveryDosScenario(const ScenarioConfig& cfg,
+                       obs::EventRecorder* recorder)
 {
-    attacks::RecoveryDosResult r =
-        attacks::runRecoveryDosAttack(recoveryAttackConfig(cfg, 8));
+    attacks::RecoveryAttackConfig a = recoveryAttackConfig(cfg, 8);
+    a.recorder = recorder;
+    attacks::RecoveryDosResult r = attacks::runRecoveryDosAttack(a);
     StatSet s;
     s.set("attack.alerts", static_cast<double>(r.alerts));
     s.set("attack.rfms", static_cast<double>(r.rfms));
@@ -849,7 +888,7 @@ ScenarioRegistry::ScenarioRegistry()
         "toggle-forget",
         "Toggle+Forget on t-bit FIFO PRAC (paper Fig 2)",
         {{"psq_size", "nmit"}, false},
-        [](const ScenarioConfig& cfg) {
+        [](const ScenarioConfig& cfg, obs::EventRecorder*) {
             return panopticonStats(
                 attacks::toggleForgetAttack(panopticonConfig(cfg)));
         });
@@ -857,7 +896,7 @@ ScenarioRegistry::ScenarioRegistry()
         "fill-escape",
         "Fill+Escape on full-counter FIFO PRAC (paper Fig 3)",
         {{"psq_size", "nmit"}, false},
-        [](const ScenarioConfig& cfg) {
+        [](const ScenarioConfig& cfg, obs::EventRecorder*) {
             return panopticonStats(
                 attacks::fillEscapeAttack(panopticonConfig(cfg)));
         });
@@ -865,7 +904,7 @@ ScenarioRegistry::ScenarioRegistry()
         "blocking-tbit",
         "blocking t-bit variant, ABO_ACT cannot toggle (paper Fig 23)",
         {{"psq_size", "nmit"}, false},
-        [](const ScenarioConfig& cfg) {
+        [](const ScenarioConfig& cfg, obs::EventRecorder*) {
             return panopticonStats(
                 attacks::blockingTbitAttack(panopticonConfig(cfg)));
         });
@@ -952,12 +991,51 @@ ScenarioRegistry::run(const ScenarioConfig& cfg, int thread_budget) const
     ScenarioResult res;
     res.config = cfg;
 
+    // Observability hub (hash-excluded keys; result-neutral). Only the
+    // primary run is instrumented — a `baseline=true` companion run
+    // would interleave a second machine's events into the same lanes.
+    std::uint32_t trace_mask = 0;
+    {
+        std::string mask_err;
+        if (!obs::parseCategoryMask(cfg.trace, &trace_mask, &mask_err))
+            fatal(strCat("invalid scenario: trace: ", mask_err));
+    }
+    std::unique_ptr<obs::EventRecorder> recorder;
+    if (trace_mask != 0 || cfg.metrics_interval != 0) {
+        obs::RecorderConfig rc;
+        rc.mask = trace_mask;
+        rc.metrics_interval = static_cast<Cycle>(cfg.metrics_interval);
+        recorder =
+            std::make_unique<obs::EventRecorder>(rc, cfg.channels);
+    }
+    auto finishObs = [&] {
+        if (!recorder)
+            return;
+        res.obs = recorder->summary();
+        if (recorder->tracing()) {
+            // Default path keyed by the scenario hash: sweep points
+            // racing on one directory never collide (and identical
+            // configs produce identical traces anyway).
+            const std::string path =
+                cfg.trace_out.empty()
+                    ? strCat("qprac_trace-", scenarioHashHex(cfg),
+                             ".json")
+                    : cfg.trace_out;
+            std::string werr;
+            if (recorder->writeTrace(path, &werr))
+                res.obs->trace_path = path;
+            else
+                warn(strCat("trace not written: ", werr));
+        }
+    };
+
     if (cfg.sourceKind() == SourceKind::Attack) {
         auto it = attacks_.find(cfg.sourceName());
         if (it == attacks_.end())
             fatal(strCat("unknown attack scenario '", cfg.source, "'"));
         res.is_attack = true;
-        res.stats = it->second.run(cfg);
+        res.stats = it->second.run(cfg, recorder.get());
+        finishObs();
         return res;
     }
 
@@ -967,9 +1045,11 @@ ScenarioRegistry::run(const ScenarioConfig& cfg, int thread_budget) const
     DesignSpec d = cfg.design();
     {
         SystemConfig sys = makeSystemConfig(d, ecfg);
+        sys.recorder = recorder.get();
         System system(sys, d.factory, buildScenarioTraces(cfg));
         res.sim = system.run();
     }
+    finishObs();
     res.stats = res.sim.stats;
     if (cfg.baseline) {
         // The insecure baseline: no ABO, no mitigation, primary (PRAC)

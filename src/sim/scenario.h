@@ -37,6 +37,11 @@ namespace qprac {
 struct JsonValue; // common/json.h
 }
 
+namespace qprac::obs {
+class EventRecorder;
+struct RunSummary;
+} // namespace qprac::obs
+
 namespace qprac::sim {
 
 class ResultCache; // sim/result_cache.h
@@ -132,6 +137,21 @@ struct ScenarioConfig
      * inline; a full queue falls back to an inline stall). */
     int cuq_depth = 16;
 
+    // --- observability (result-neutral, hash-excluded) -----------------
+    /**
+     * Event-trace category set (obs/obs.h): "off", "all" or a comma
+     * list of category names ("cmd,abo,rfm"). Like the engine keys,
+     * tracing never changes results — the key is hash-excluded and the
+     * trace itself is byte-identical across threads/pipeline/skip.
+     */
+    std::string trace = "off";
+    /** Trace output path ("" = qprac_trace-<hash>.json beside the
+     * run; a ".csv" suffix selects the CSV exporter). */
+    std::string trace_out;
+    /** Metrics sampling period in cycles (0, spelled "off", disables
+     * the time-series sampler and latency histograms). */
+    std::uint64_t metrics_interval = 0;
+
     // --- attack-family knobs -------------------------------------------
     /** Wave/Feinting starting pool size (attack:wave r1). */
     int r1 = 2000;
@@ -205,6 +225,14 @@ struct ScenarioResult
     SimResult baseline_sim;
     double norm_perf = 0.0; ///< ipc_sum vs baseline (when has_baseline)
     StatSet stats; ///< unified stats: sim.stats or attack.* counters
+    /**
+     * Observability digest (null when trace and metrics are off).
+     * Deliberately absent from toJson()/resultJson()/the result cache:
+     * result documents are compared bit-for-bit across engine modes
+     * and must not grow keys when tracing is toggled. `--metrics` and
+     * the sweep sidecar read it.
+     */
+    std::shared_ptr<obs::RunSummary> obs;
 
     /** {"scenario": {...}, "result": {...}} document. */
     std::string toJson() const;
@@ -244,7 +272,13 @@ struct ScenarioResult
 class ScenarioRegistry
 {
   public:
-    using AttackRunner = std::function<StatSet(const ScenarioConfig&)>;
+    /**
+     * Family runner. @p recorder is the run's observability hub (null
+     * when tracing and metrics are both off); event-level families
+     * with no MemorySystem ignore it.
+     */
+    using AttackRunner = std::function<StatSet(const ScenarioConfig&,
+                                               obs::EventRecorder*)>;
 
     /** Registration metadata for one attack family. */
     struct AttackOptions

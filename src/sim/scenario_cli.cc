@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "mitigations/factory.h"
+#include "obs/obs.h"
 #include "sim/result_cache.h"
 #include "sim/scenario.h"
 #include "sim/scenario_hash.h"
@@ -23,7 +24,8 @@ const char* const kUsage =
     "[--nbo N] [--nmit N] [--insts N] [--cores N] "
     "[--channels N] [--ranks N] [--mapping NAME] [--seed N] "
     "[--threads N|auto] [--recovery NAME] [--baseline] [--stats] "
-    "[--profile-engine] [--list] [--list-designs] [--list-attacks]\n"
+    "[--metrics] [--profile[=SECTIONS]] [--list] [--list-designs] "
+    "[--list-attacks]\n"
     "                 [--config FILE] [--set key=value]... "
     "[--sweep key=values]... [--json] [--csv PATH]\n"
     "                 [--cache-dir PATH] [--isolate] "
@@ -34,7 +36,8 @@ const char* const kUsage =
     "key = value lines; keys: source mitigation backend psq_size nbo\n"
     "nmit recovery channels ranks mapping insts cores seed llc_mb\n"
     "threads baseline r1 attack_cycles pipeline steal corepar skip\n"
-    "subarrays counter-update cuq_depth).\n"
+    "subarrays counter-update cuq_depth trace trace-out\n"
+    "metrics-interval).\n"
     "Sources: workload:NAME,\n"
     "trace:PATH, attack:NAME (--list-attacks shows each family's\n"
     "accepted keys). --recovery selects the ALERT_n blocking domain:\n"
@@ -46,12 +49,21 @@ const char* const kUsage =
     "bit-identical at every thread count. pipeline/steal/corepar/skip\n"
     "(auto|on|off) select the engine layers (pipelined main phase,\n"
     "work-stealing dispatch, threaded cores, next-event cycle\n"
-    "skipping; see sim/system.h). --profile-engine prints the skip\n"
-    "efficiency counters (cycles skipped, wake sources) after a run.\n"
+    "skipping; see sim/system.h).\n"
+    "Observability (result-neutral): trace=CATS enables cycle-stamped\n"
+    "event tracing (CATS is all|off or a +-separated category list:\n"
+    "cmd refresh abo rfm recovery psq cuq attack); trace-out=PATH names\n"
+    "the Perfetto JSON (default qprac_trace-<hash>.json);\n"
+    "metrics-interval=N samples time-series every N cycles. --metrics\n"
+    "prints the metrics report (and defaults metrics-interval to 10000\n"
+    "when unset). --profile prints post-run profiling sections; pass\n"
+    "--profile=engine,cache,wall to select a subset (--profile-engine\n"
+    "is the historical alias for --profile=engine).\n"
     "--json / --csv emit structured results.\n"
     "--cache-dir keeps one content-addressed JSON sidecar per point\n"
     "(named by the scenario hash, which excludes result-neutral keys:\n"
-    "threads/pipeline/steal/skip); reruns and resumed grids reuse hits\n"
+    "threads/pipeline/steal/skip/trace/trace-out/metrics-interval);\n"
+    "reruns and resumed grids reuse hits\n"
     "byte-for-byte. --isolate forks one qprac_sim per sweep point so a\n"
     "crashing config becomes a recorded failed point instead of killing\n"
     "the grid. --hash (alias --dry-run) prints each resolved point's\n"
@@ -173,47 +185,163 @@ legacyRunReport(const ScenarioResult& res, bool dump_stats)
     return out;
 }
 
+// --profile section bits. --profile-engine is the historical alias
+// for --profile=engine.
+constexpr unsigned kProfileEngine = 1u << 0;
+constexpr unsigned kProfileCache = 1u << 1;
+constexpr unsigned kProfileWall = 1u << 2;
+constexpr unsigned kProfileAll =
+    kProfileEngine | kProfileCache | kProfileWall;
+
+bool
+parseProfileSections(const std::string& list, unsigned* sections,
+                     std::string* err)
+{
+    *sections = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        std::string name = list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (name == "engine" || name == "engine-skip" || name == "skip")
+            *sections |= kProfileEngine;
+        else if (name == "cache")
+            *sections |= kProfileCache;
+        else if (name == "wall" || name == "time")
+            *sections |= kProfileWall;
+        else if (name == "all")
+            *sections |= kProfileAll;
+        else {
+            *err = strCat("unknown profile section '", name,
+                          "' (expected engine, cache, wall or all)");
+            return false;
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
 /**
- * The --profile-engine view: cycle-skipping efficiency for the run.
- * Engine observability only — everything here is derived from fields
- * deliberately excluded from the result document (SimResult::skip,
- * wall_ms), so it never perturbs byte-compared outputs. Cache hits and
- * attack points report zeros (nothing ran).
+ * The --profile view: post-run profiling sections. Everything here is
+ * derived from fields deliberately excluded from the result document
+ * (SimResult::skip, wall_ms) or from stats already inside it, so it
+ * never perturbs byte-compared outputs.
  */
 std::string
-engineProfileReport(const ScenarioResult& res)
+profileReport(const ScenarioResult& res, unsigned sections)
 {
-    const ctrl::SkipStats& sk = res.sim.skip;
-    const double cycles = static_cast<double>(res.sim.cycles);
-    const double shard_cycles =
-        cycles * static_cast<double>(res.config.channels);
-    const double pct =
-        shard_cycles > 0
-            ? 100.0 * static_cast<double>(sk.cycles_skipped) / shard_cycles
-            : 0.0;
-    std::string out = "--- engine profile (cycle skipping) ---\n";
-    Table t({"counter", "value"});
-    t.addRow({"shard cycles",
-              Table::num(shard_cycles, 0)});
-    t.addRow({"cycles skipped",
-              Table::num(static_cast<double>(sk.cycles_skipped), 0)});
-    t.addRow({"skipped %", Table::num(pct, 1)});
-    t.addRow({"wakes: command-ready",
-              Table::num(static_cast<double>(sk.wakes_command), 0)});
-    t.addRow({"wakes: refresh",
-              Table::num(static_cast<double>(sk.wakes_refresh), 0)});
-    t.addRow({"wakes: recovery",
-              Table::num(static_cast<double>(sk.wakes_recovery), 0)});
-    t.addRow({"wakes: cuq-drain",
-              Table::num(static_cast<double>(sk.wakes_cuq), 0)});
-    t.addRow({"wakes: mailbox",
-              Table::num(static_cast<double>(sk.wakes_mailbox), 0)});
-    t.addRow({"wakes: epoch-boundary",
-              Table::num(static_cast<double>(sk.wakes_epoch), 0)});
-    if (res.sim.wall_ms > 0.0)
-        t.addRow({"sim cycles/sec",
-                  Table::num(res.sim.simCyclesPerSec(), 0)});
-    out += t.toString();
+    std::string out;
+
+    if (sections & kProfileEngine) {
+        const ctrl::SkipStats& sk = res.sim.skip;
+        out += "--- profile: engine (cycle skipping) ---\n";
+        // A run with skipping enabled always records wakes (every
+        // window ends in an EpochBoundary wake); all-zero counters
+        // mean skipping was off or nothing ran here at all. Say so
+        // instead of printing a zero table that reads like "the
+        // skipper never fired".
+        const bool skipped_ran =
+            sk.cycles_skipped != 0 || sk.wakes_command != 0 ||
+            sk.wakes_refresh != 0 || sk.wakes_recovery != 0 ||
+            sk.wakes_cuq != 0 || sk.wakes_mailbox != 0 ||
+            sk.wakes_epoch != 0;
+        if (!skipped_ran) {
+            out += "cycle skipping disabled for this run (skip=off, a\n"
+                   "cache hit, or an attack point) -- no skip counters.\n";
+        } else {
+            const double cycles = static_cast<double>(res.sim.cycles);
+            const double shard_cycles =
+                cycles * static_cast<double>(res.config.channels);
+            const double pct =
+                shard_cycles > 0
+                    ? 100.0 * static_cast<double>(sk.cycles_skipped) /
+                          shard_cycles
+                    : 0.0;
+            Table t({"counter", "value"});
+            t.addRow({"shard cycles", Table::num(shard_cycles, 0)});
+            t.addRow(
+                {"cycles skipped",
+                 Table::num(static_cast<double>(sk.cycles_skipped), 0)});
+            t.addRow({"skipped %", Table::num(pct, 1)});
+            t.addRow(
+                {"wakes: command-ready",
+                 Table::num(static_cast<double>(sk.wakes_command), 0)});
+            t.addRow(
+                {"wakes: refresh",
+                 Table::num(static_cast<double>(sk.wakes_refresh), 0)});
+            t.addRow(
+                {"wakes: recovery",
+                 Table::num(static_cast<double>(sk.wakes_recovery), 0)});
+            t.addRow({"wakes: cuq-drain",
+                      Table::num(static_cast<double>(sk.wakes_cuq), 0)});
+            t.addRow(
+                {"wakes: mailbox",
+                 Table::num(static_cast<double>(sk.wakes_mailbox), 0)});
+            t.addRow(
+                {"wakes: epoch-boundary",
+                 Table::num(static_cast<double>(sk.wakes_epoch), 0)});
+            out += t.toString();
+        }
+    }
+
+    if (sections & kProfileCache) {
+        out += "--- profile: cache (shared LLC) ---\n";
+        const StatSet& st = res.sim.stats;
+        if (!st.has("llc.loads")) {
+            out += "no LLC counters for this point (attack scenarios\n"
+                   "run without a cache hierarchy).\n";
+        } else {
+            const double loads = st.getOr("llc.loads", 0);
+            const double load_hits = st.getOr("llc.load_hits", 0);
+            const double stores = st.getOr("llc.stores", 0);
+            const double store_hits = st.getOr("llc.store_hits", 0);
+            Table t({"counter", "value"});
+            t.addRow({"loads", Table::num(loads, 0)});
+            t.addRow({"load hits", Table::num(load_hits, 0)});
+            t.addRow({"load hit %",
+                      Table::num(loads > 0 ? 100.0 * load_hits / loads
+                                           : 0.0,
+                                 1)});
+            t.addRow({"stores", Table::num(stores, 0)});
+            t.addRow({"store hits", Table::num(store_hits, 0)});
+            t.addRow({"store hit %",
+                      Table::num(stores > 0 ? 100.0 * store_hits / stores
+                                            : 0.0,
+                                 1)});
+            t.addRow({"writebacks",
+                      Table::num(st.getOr("llc.writebacks", 0), 0)});
+            t.addRow({"MSHR merges",
+                      Table::num(st.getOr("llc.mshr_merges", 0), 0)});
+            out += t.toString();
+        }
+    }
+
+    if (sections & kProfileWall) {
+        out += "--- profile: wall time ---\n";
+        if (res.sim.wall_ms <= 0.0) {
+            out += "no timing for this point (a cache hit replays the\n"
+                   "stored result; nothing ran).\n";
+        } else {
+            const double shard_cycles =
+                static_cast<double>(res.sim.cycles) *
+                static_cast<double>(res.config.channels);
+            Table t({"counter", "value"});
+            t.addRow({"wall ms", Table::num(res.sim.wall_ms, 1)});
+            t.addRow({"simulated cycles",
+                      Table::num(static_cast<double>(res.sim.cycles), 0)});
+            t.addRow({"sim cycles/sec",
+                      Table::num(res.sim.simCyclesPerSec(), 0)});
+            if (shard_cycles > 0)
+                t.addRow({"host ns / shard cycle",
+                          Table::num(res.sim.wall_ms * 1e6 / shard_cycles,
+                                     1)});
+            out += t.toString();
+        }
+    }
+
     return out;
 }
 
@@ -375,6 +503,14 @@ sweepJson(const ScenarioConfig& base,
         } else {
             w.key("result").raw(point.result.resultJson());
             w.key("cached").value(point.cached);
+            // Observability rides beside the result document, like the
+            // timing fields below: the result stays byte-identical
+            // whether or not the run was traced/sampled. Absent for
+            // cache hits (nothing ran, nothing was sampled).
+            if (point.result.obs) {
+                w.key("metrics");
+                point.result.obs->toJson(w);
+            }
         }
         // Timing lives beside the result object, never inside it: the
         // result document stays bit-identical across machines, thread
@@ -484,7 +620,8 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
     std::string csv_path;
     std::string cache_dir;
     bool dump_stats = false;
-    bool profile_engine = false;
+    bool metrics = false;
+    unsigned profile_sections = 0;
     bool json = false;
     bool isolate = false;
     bool hash_only = false;
@@ -570,8 +707,18 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
             hash_only = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
+        } else if (arg == "--profile") {
+            profile_sections = kProfileAll;
+        } else if (arg.rfind("--profile=", 0) == 0) {
+            unsigned parsed = 0;
+            std::string perr;
+            if (!parseProfileSections(arg.substr(10), &parsed, &perr))
+                return usageError(perr);
+            profile_sections |= parsed;
         } else if (arg == "--profile-engine") {
-            profile_engine = true;
+            profile_sections |= kProfileEngine;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--list") {
@@ -612,6 +759,12 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
     for (const auto& op : ops)
         if (!cfg.set(op.key, op.value, &cfg_err))
             return usageError(cfg_err);
+    // --metrics asks for the report; make sure something gets sampled
+    // even when the scenario never set an interval. An explicit
+    // metrics-interval (config file or --set, either order) wins.
+    if (metrics && cfg.metrics_interval == 0 &&
+        !cfg.set("metrics-interval", "10000", &cfg_err))
+        return usageError(cfg_err);
     if (!cfg.validate(&cfg_err))
         return usageError(cfg_err);
 
@@ -681,8 +834,21 @@ runQpracSimCli(const std::vector<std::string>& args, std::string* out,
         *out += attackRunReport(res);
     else
         *out += legacyRunReport(res, dump_stats);
-    if (profile_engine)
-        *out += engineProfileReport(res);
+    if (metrics) {
+        if (res.obs) {
+            *out += res.obs->report();
+        } else {
+            // A cache hit replays the stored result document, which
+            // deliberately excludes observability (traces and samples
+            // exist only for runs that actually executed).
+            *out += "--- metrics ---\n"
+                    "no metrics for this point: the result came from "
+                    "the cache.\nRerun without --cache-dir (or clear "
+                    "the sidecar) to sample.\n";
+        }
+    }
+    if (profile_sections != 0)
+        *out += profileReport(res, profile_sections);
     if (!csv_path.empty()) {
         CsvWriter csv(csv_path, ScenarioResult::csvHeader());
         csv.addRow(res.csvRow());

@@ -9,10 +9,11 @@ namespace {
 
 /**
  * Bumping this tag re-keys the whole cache; see the header contract.
- * v1: all ScenarioConfig keys except threads/pipeline/steal/skip,
- * corepar normalized auto -> off. (Excluded keys are never serialized,
- * so adding `skip` in PR 9 changed no canonical key and needed no tag
- * bump.) The counter-architecture keys (subarrays,
+ * v1: all ScenarioConfig keys except threads/pipeline/steal/skip and
+ * the observability keys (trace/trace-out/metrics-interval), corepar
+ * normalized auto -> off. (Excluded keys are never serialized, so
+ * adding `skip` in PR 9 and the observability keys in PR 10 changed no
+ * canonical key and needed no tag bump.) The counter-architecture keys (subarrays,
  * counter-update, cuq_depth) serialize only when counter-update is not
  * inline: with inline updates they cannot affect any result, and
  * omitting them keeps every pre-subarray cache entry and golden hash
@@ -54,8 +55,10 @@ scenarioHashedKeys()
 const std::vector<std::string>&
 scenarioHashExcludedKeys()
 {
-    static const std::vector<std::string> keys = {"threads", "pipeline",
-                                                  "steal", "skip"};
+    static const std::vector<std::string> keys = {
+        "threads",  "pipeline",  "steal",
+        "skip",     "trace",     "trace-out",
+        "metrics-interval"};
     return keys;
 }
 

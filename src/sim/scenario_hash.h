@@ -13,6 +13,10 @@
  *    bit-identical, so a result computed at threads=4 with the
  *    pipelined skipping engine is the same result at threads=1 on the
  *    dense alternating engine.
+ *  - `trace`, `trace-out` and `metrics-interval` are excluded. The
+ *    observability layer (src/obs) records at state-change points and
+ *    never perturbs simulation state, so a traced run's result is the
+ *    untraced run's result.
  *  - `corepar` IS hashed, because the threaded-core model is
  *    deterministic but not bit-identical to the serial core model
  *    (MSHR-saturation handling diverges); its `auto` spelling is
@@ -48,7 +52,7 @@ namespace qprac::sim {
 /** ScenarioConfig::keys() minus the result-neutral engine keys. */
 const std::vector<std::string>& scenarioHashedKeys();
 
-/** The excluded keys (threads / pipeline / steal), for listings. */
+/** The excluded (result-neutral) keys, for listings. */
 const std::vector<std::string>& scenarioHashExcludedKeys();
 
 /**

@@ -112,6 +112,8 @@ System::System(const SystemConfig& config, MitigationFactory mitigation,
     // contract, ctrl/memory_system.h), so auto = on.
     skip_ = cfg_.engine.skip != EngineToggle::Off;
     memory_->setCycleSkipping(skip_);
+    if (cfg_.recorder)
+        memory_->setEventRecorder(cfg_.recorder);
 
     for (int i = 0; i < cfg_.num_cores; ++i)
         cores_.push_back(std::make_unique<cpu::O3Core>(

@@ -43,6 +43,10 @@
 #include "cpu/trace.h"
 #include "ctrl/memory_system.h"
 
+namespace qprac::obs {
+class EventRecorder;
+} // namespace qprac::obs
+
 namespace qprac::sim {
 
 /**
@@ -120,6 +124,13 @@ struct SystemConfig
     int threads = 1;
     /** Engine v2 switches (pipeline / steal / corepar). */
     EngineOptions engine;
+    /**
+     * Observability hub (obs/obs.h); null = tracing and metrics off.
+     * Result-neutral: recording never perturbs simulation state, and
+     * the trace itself is byte-identical across engine modes. Not
+     * owned; must outlive the System.
+     */
+    obs::EventRecorder* recorder = nullptr;
 };
 
 /** Results of one simulation (aggregated across channels). */

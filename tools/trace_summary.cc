@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fold a qprac Perfetto trace (written by `trace=` / trace-out=) back
+ * into terminal tables: per-category × per-lane event counts and a
+ * busy-interval summary for the span events. Parsing goes through
+ * common/json's strict parser, so a zero exit also certifies the trace
+ * is syntactically valid JSON — CI uses it as the trace lint.
+ *
+ * usage: trace_summary TRACE.json
+ */
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/table.h"
+
+namespace {
+
+using qprac::JsonValue;
+using qprac::Table;
+
+struct BusyCell
+{
+    std::uint64_t events = 0; ///< all events (spans + instants)
+    std::uint64_t spans = 0;  ///< "X" events only
+    std::uint64_t busy = 0;   ///< Σ dur over spans (cycles)
+    std::uint64_t max_dur = 0;
+};
+
+int
+summarize(const std::string& path, std::string* out, std::string* err)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        *err = "cannot open '" + path + "'";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+
+    JsonValue doc;
+    if (!qprac::jsonParse(buf.str(), &doc, err)) {
+        *err = path + ": " + *err;
+        return 1;
+    }
+    const JsonValue* events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        *err = path + ": no traceEvents array (not a qprac trace?)";
+        return 1;
+    }
+
+    // lane tid -> display name (from the "M" thread_name metadata).
+    std::map<std::uint64_t, std::string> lanes;
+    // (lane tid, category) -> counts. std::map keeps the output in
+    // deterministic (lane, category-name) order.
+    std::map<std::pair<std::uint64_t, std::string>, BusyCell> cells;
+    std::uint64_t counter_samples = 0;
+
+    for (const JsonValue& e : events->items) {
+        const JsonValue* ph = e.find("ph");
+        const JsonValue* tid = e.find("tid");
+        if (!ph || !ph->isString() || !tid)
+            continue;
+        if (ph->text == "M") {
+            const JsonValue* args = e.find("args");
+            const JsonValue* name = args ? args->find("name") : nullptr;
+            if (name && name->isString())
+                lanes[tid->asU64()] = name->text;
+            continue;
+        }
+        if (ph->text == "C") {
+            ++counter_samples;
+            continue;
+        }
+        if (ph->text != "X" && ph->text != "i")
+            continue;
+        const JsonValue* cat = e.find("cat");
+        BusyCell& cell =
+            cells[{tid->asU64(),
+                   cat && cat->isString() ? cat->text : "?"}];
+        ++cell.events;
+        if (ph->text == "X") {
+            const JsonValue* dur = e.find("dur");
+            const std::uint64_t d = dur ? dur->asU64() : 0;
+            ++cell.spans;
+            cell.busy += d;
+            cell.max_dur = std::max(cell.max_dur, d);
+        }
+    }
+
+    auto laneName = [&](std::uint64_t tid) {
+        auto it = lanes.find(tid);
+        return it != lanes.end() ? it->second
+                                 : "tid" + std::to_string(tid);
+    };
+
+    *out += "=== trace summary: " + path + " ===\n";
+    Table t({"lane", "category", "events", "spans", "busy cycles",
+             "max dur"});
+    for (const auto& [key, cell] : cells)
+        t.addRow({laneName(key.first), key.second,
+                  std::to_string(cell.events), std::to_string(cell.spans),
+                  std::to_string(cell.busy),
+                  std::to_string(cell.max_dur)});
+    *out += t.toString();
+    if (counter_samples)
+        *out += "counter samples: " + std::to_string(counter_samples) +
+                "\n";
+
+    if (const JsonValue* other = doc.find("otherData")) {
+        const JsonValue* format = other->find("format");
+        const JsonValue* recorded = other->find("events");
+        const JsonValue* dropped = other->find("dropped");
+        *out += "format: " +
+                (format && format->isString() ? format->text : "?");
+        if (recorded)
+            *out += "  events: " + std::to_string(recorded->asU64());
+        if (dropped)
+            *out += "  dropped: " + std::to_string(dropped->asU64());
+        *out += "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2 || std::string(argv[1]) == "--help") {
+        std::fprintf(stderr, "usage: trace_summary TRACE.json\n");
+        return 2;
+    }
+    std::string out, err;
+    int rc = summarize(argv[1], &out, &err);
+    if (rc != 0) {
+        std::fprintf(stderr, "trace_summary: %s\n", err.c_str());
+        return rc;
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
